@@ -1,0 +1,47 @@
+//! Micro-benchmark: BLP-Tracker updates and BARD-H LLC fills (the operations
+//! added to the LLC's victim-selection path).
+
+use bard::{BlpTracker, SlicedLlc, WritePolicyKind};
+use bard_cache::ReplacementKind;
+use bard_dram::DramConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blp_tracker");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("record_writeback", |b| {
+        let mut tracker = BlpTracker::new(1, 64, 32);
+        let mut bank = 0usize;
+        b.iter(|| {
+            bank = (bank + 7) % 64;
+            tracker.record_writeback(0, std::hint::black_box(bank));
+            tracker.has_pending(0, (bank + 13) % 64)
+        });
+    });
+    for policy in [WritePolicyKind::Baseline, WritePolicyKind::BardH] {
+        group.bench_function(format!("llc_fill_{}", policy.label()), |b| {
+            let dram = DramConfig::ddr5_4800_x4();
+            let mut llc =
+                SlicedLlc::new(2 * 1024 * 1024, 16, 64, 4, ReplacementKind::Lru, policy, &dram);
+            for i in 0..(2 * 1024 * 1024 / 64) as u64 {
+                llc.functional_access(i * 64, i % 2 == 0);
+            }
+            let mut writebacks = Vec::new();
+            let mut oracle = |_addr: u64| false;
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                let addr = 0x1_0000_0000 + i * 64;
+                llc.fill(addr, 0, i % 3 == 0, &mut writebacks, &mut oracle);
+                writebacks.clear();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmark: set-associative cache operations and replacement
+//! policies (lookup, fill, eviction-order computation).
+
+use bard_cache::{CacheConfig, ReplacementKind, SetAssocCache};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_ops");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for kind in [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Ship] {
+        group.bench_function(format!("fill_touch_2mb_{}", kind.name()), |b| {
+            let mut cache = SetAssocCache::new(CacheConfig::new(2 * 1024 * 1024, 16, 64), kind);
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(0x9E37_79B9);
+                let addr = (i % (8 * 1024 * 1024)) & !63;
+                if !cache.touch(addr, (i >> 8) as u16, i % 3 == 0) {
+                    cache.fill(addr, i % 3 == 0, (i >> 8) as u16);
+                }
+            });
+        });
+    }
+    group.bench_function("eviction_order_16way", |b| {
+        let mut cache =
+            SetAssocCache::new(CacheConfig::new(1024 * 1024, 16, 64), ReplacementKind::Lru);
+        for i in 0..(1024 * 1024 / 64) as u64 {
+            cache.fill(i * 64, i % 2 == 0, 0);
+        }
+        let mut set = 0usize;
+        b.iter(|| {
+            set = (set + 1) % cache.sets();
+            cache.eviction_order(std::hint::black_box(set))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Micro-benchmark: DDR5 sub-channel scheduling throughput for read bursts,
+//! same-bank-group write drains and spread write drains.
+
+use bard_dram::{DramConfig, MemRequest, MemoryController};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+
+fn controller() -> MemoryController {
+    let mut cfg = DramConfig::ddr5_4800_x4();
+    cfg.refresh_enabled = false;
+    MemoryController::new(&cfg, 0)
+}
+
+fn drain_writes(addresses: &[u64]) -> u64 {
+    let mut mc = controller();
+    for (i, &addr) in addresses.iter().enumerate() {
+        let _ = mc.try_enqueue(MemRequest::write(i as u64, addr, 0), 0);
+    }
+    let mut done = Vec::new();
+    for cycle in 0..200_000u64 {
+        mc.tick(cycle);
+        mc.drain_completed(&mut done);
+        if mc.stats().merged.drain_episodes > 0 {
+            return cycle;
+        }
+    }
+    200_000
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_scheduler");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    group.bench_function("read_burst_64", |b| {
+        b.iter_batched(
+            controller,
+            |mut mc| {
+                for i in 0..64u64 {
+                    let _ = mc.try_enqueue(MemRequest::read(i, i * 4096, 0), 0);
+                }
+                let mut done = Vec::new();
+                let mut cycle = 0;
+                while done.len() < 64 {
+                    mc.tick(cycle);
+                    mc.drain_completed(&mut done);
+                    cycle += 1;
+                }
+                cycle
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Writes confined to one bank group (slow path: tCCD_L_WR).
+    let same_bg: Vec<u64> = (0..48u64).map(|i| i * 0x2000).collect();
+    // Writes spread across bank groups (fast path: tCCD_S_WR).
+    let spread: Vec<u64> = (0..48u64).map(|i| i * 0x140).collect();
+    group.bench_function("write_drain_same_bankgroup", |b| {
+        b.iter(|| drain_writes(std::hint::black_box(&same_bg)));
+    });
+    group.bench_function("write_drain_spread_bankgroups", |b| {
+        b.iter(|| drain_writes(std::hint::black_box(&spread)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

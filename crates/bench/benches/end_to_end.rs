@@ -1,0 +1,26 @@
+//! Macro-benchmark: simulator throughput for a short full-system run
+//! (baseline vs BARD-H), measuring wall-clock per simulated instruction.
+
+use bard::experiment::{run_workload, RunLength};
+use bard::{SystemConfig, WritePolicyKind};
+use bard_workloads::WorkloadId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    let length = RunLength { functional_warmup: 100_000, timed_warmup: 2_000, measure: 10_000 };
+    for policy in [WritePolicyKind::Baseline, WritePolicyKind::BardH] {
+        group.bench_function(format!("small_lbm_{}", policy.label()), |b| {
+            let cfg = SystemConfig::small_test().with_policy(policy);
+            b.iter(|| run_workload(&cfg, WorkloadId::Lbm, length));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Micro-benchmark: synthetic workload trace generation throughput.
+
+use bard_workloads::WorkloadId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for workload in [WorkloadId::Lbm, WorkloadId::Pagerank, WorkloadId::Copy, WorkloadId::Charlie] {
+        group.bench_function(workload.name(), |b| {
+            let mut trace = workload.build(0, 7);
+            b.iter(|| trace.next_record());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

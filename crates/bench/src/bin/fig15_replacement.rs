@@ -1,0 +1,35 @@
+//! Figure 15: BARD's speedup when the LLC uses LRU, SRRIP or SHiP
+//! replacement. Each BARD result is normalised to a baseline using the same
+//! replacement policy.
+
+use bard::experiment::run_workload;
+use bard::report::Table;
+use bard::{geomean_speedup_percent, speedup_percent, WritePolicyKind};
+use bard_bench::harness::{print_header, Cli};
+use bard_cache::ReplacementKind;
+
+fn main() {
+    let cli = Cli::parse();
+    print_header("Figure 15", "BARD under LRU / SRRIP / SHiP replacement", &cli);
+    let replacements = [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Ship];
+    let mut table = Table::new(vec!["workload", "BARD (LRU) %", "BARD (SRRIP) %", "BARD (SHiP) %"]);
+    let mut per_repl: Vec<Vec<f64>> = vec![Vec::new(); replacements.len()];
+    for &w in &cli.workloads {
+        let mut row = vec![w.name().to_string()];
+        for (ri, repl) in replacements.iter().enumerate() {
+            let base_cfg = cli.config.clone().with_replacement(*repl);
+            let bard_cfg = base_cfg.clone().with_policy(WritePolicyKind::BardH);
+            let base = run_workload(&base_cfg, w, cli.length);
+            let bard = run_workload(&bard_cfg, w, cli.length);
+            let speedup = speedup_percent(&bard, &base);
+            per_repl[ri].push(speedup);
+            row.push(format!("{speedup:+.2}"));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    for (ri, repl) in replacements.iter().enumerate() {
+        println!("gmean speedup with {}: {:+.2}%", repl.name(), geomean_speedup_percent(&per_repl[ri]));
+    }
+    println!("Paper reference: 4.3% (LRU), 5.0% (SRRIP), 4.9% (SHiP).");
+}

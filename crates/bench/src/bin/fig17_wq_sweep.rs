@@ -1,0 +1,36 @@
+//! Figure 17: speedup of the baseline and BARD for write-queue capacities of
+//! 32, 48, 64, 96 and 128 entries, normalised to the 48-entry baseline.
+
+use bard::experiment::run_workload;
+use bard::report::Table;
+use bard::{geomean_speedup_percent, speedup_percent, WritePolicyKind};
+use bard_bench::harness::{print_header, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    print_header("Figure 17", "Write-queue capacity sweep", &cli);
+    // Reference: 48-entry baseline.
+    let reference: Vec<_> = cli
+        .workloads
+        .iter()
+        .map(|&w| run_workload(&cli.config, w, cli.length))
+        .collect();
+    let mut table = Table::new(vec!["WQ entries", "baseline gmean (%)", "BARD gmean (%)"]);
+    for entries in [32usize, 48, 64, 96, 128] {
+        let mut row = vec![entries.to_string()];
+        for policy in [WritePolicyKind::Baseline, WritePolicyKind::BardH] {
+            let mut cfg = cli.config.clone().with_policy(policy);
+            cfg.dram = cfg.dram.clone().with_write_queue_entries(entries);
+            let speedups: Vec<f64> = cli
+                .workloads
+                .iter()
+                .zip(&reference)
+                .map(|(&w, base)| speedup_percent(&run_workload(&cfg, w, cli.length), base))
+                .collect();
+            row.push(format!("{:+.1}", geomean_speedup_percent(&speedups)));
+        }
+        table.push_row(row);
+    }
+    println!("{}", table.render());
+    println!("Paper reference: baseline -6.2/0.0/3.3/8.1/10.7%, BARD 0.4/4.3/7.0/10.0/11.7%.");
+}

@@ -1,0 +1,20 @@
+//! Table IV: baseline workload characterisation — LLC misses per kilo
+//! instruction (MPKI), write-backs per kilo instruction (WPKI), write
+//! bank-level parallelism (WBLP) and time spent writing (W%).
+
+use bard::experiment::run_workload;
+use bard::report::{characterisation_row, Table};
+use bard_bench::harness::{print_header, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    print_header("Table IV", "Workload characteristics (baseline)", &cli);
+    let mut table = Table::new(vec!["workload", "MPKI", "WPKI", "WBLP", "W%"]);
+    for &w in &cli.workloads {
+        let result = run_workload(&cli.config, w, cli.length);
+        table.push_row(characterisation_row(&result));
+    }
+    println!("{}", table.render());
+    println!("Compare against Table IV of the paper (absolute values differ; ordering and");
+    println!("write intensity are the quantities the BARD study depends on).");
+}

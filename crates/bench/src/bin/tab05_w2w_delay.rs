@@ -1,0 +1,36 @@
+//! Table V: mean and maximum write-to-write delay for the baseline, BARD and
+//! the idealised write system.
+
+use bard::experiment::run_workload;
+use bard::report::Table;
+use bard::WritePolicyKind;
+use bard_bench::harness::{print_header, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    print_header("Table V", "Write-to-write delay", &cli);
+    let bard_cfg = cli.config.clone().with_policy(WritePolicyKind::BardH);
+    let ideal_cfg = {
+        let mut c = cli.config.clone();
+        c.dram = c.dram.clone().ideal();
+        c
+    };
+    let configs = [("Baseline", &cli.config), ("BARD", &bard_cfg), ("Ideal", &ideal_cfg)];
+    let mut table = Table::new(vec!["Design", "Average Latency (ns)", "Max Latency (ns)"]);
+    for (name, cfg) in configs {
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        for &w in &cli.workloads {
+            let r = run_workload(cfg, w, cli.length);
+            sum += r.mean_write_to_write_ns();
+            max = max.max(r.mean_write_to_write_ns());
+        }
+        table.push_row(vec![
+            name.to_string(),
+            format!("{:.1}", sum / cli.workloads.len() as f64),
+            format!("{max:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper reference: baseline 5.0/5.7 ns, BARD 4.2/5.0 ns, ideal 3.3/3.3 ns.");
+}

@@ -1,0 +1,44 @@
+//! Table IX: DRAM power, energy and energy-delay product of BARD and the
+//! Virtual Write Queue, normalised to the baseline.
+
+use bard::experiment::run_workload;
+use bard::report::Table;
+use bard::{geomean, WritePolicyKind};
+use bard_bench::harness::{print_header, Cli};
+
+fn main() {
+    let cli = Cli::parse();
+    print_header("Table IX", "DRAM power, energy and EDP normalised to baseline", &cli);
+    let systems = [
+        ("BARD", WritePolicyKind::BardH),
+        ("VWQ", WritePolicyKind::VirtualWriteQueue),
+    ];
+    let baseline: Vec<_> = cli
+        .workloads
+        .iter()
+        .map(|&w| run_workload(&cli.config, w, cli.length))
+        .collect();
+    let mut table = Table::new(vec!["System", "Power", "Energy", "EDP"]);
+    for (name, policy) in systems {
+        let cfg = cli.config.clone().with_policy(policy);
+        let mut power = Vec::new();
+        let mut energy = Vec::new();
+        let mut edp = Vec::new();
+        for (&w, base) in cli.workloads.iter().zip(&baseline) {
+            let r = run_workload(&cfg, w, cli.length);
+            if base.mean_dram_power_mw() > 0.0 {
+                power.push(r.mean_dram_power_mw() / base.mean_dram_power_mw());
+                energy.push(r.dram_energy_pj() / base.dram_energy_pj());
+                edp.push(r.dram_edp() / base.dram_edp());
+            }
+        }
+        table.push_row(vec![
+            name.to_string(),
+            format!("{:.3}", geomean(&power)),
+            format!("{:.3}", geomean(&energy)),
+            format!("{:.3}", geomean(&edp)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Paper reference: BARD 1.06/1.015/0.970, VWQ 0.989/0.993/0.995.");
+}

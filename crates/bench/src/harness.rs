@@ -1,0 +1,130 @@
+//! Shared command-line handling for the per-figure experiment binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! * `--test` / `--quick` / `--standard`: run length preset (default `--quick`),
+//! * `--workloads=a,b,c`: simulate only the named workloads,
+//! * `--singles` / `--mixes`: restrict to single workloads or mixes,
+//! * `--cores=N`: override the core count (scales the run to `small` sizes
+//!   when N <= 2, useful for smoke-testing a binary).
+
+use bard::experiment::RunLength;
+use bard::SystemConfig;
+use bard_workloads::WorkloadId;
+
+/// Parsed command-line options shared by all experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    /// Run-length preset.
+    pub length: RunLength,
+    /// Workloads to simulate.
+    pub workloads: Vec<WorkloadId>,
+    /// Baseline system configuration.
+    pub config: SystemConfig,
+}
+
+impl Cli {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown flag or workload name.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (used by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on an unknown flag or workload name.
+    #[must_use]
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut length = RunLength::quick();
+        let mut workloads = WorkloadId::all();
+        let mut config = SystemConfig::baseline_8core();
+        for arg in args {
+            if arg == "--test" {
+                length = RunLength::test();
+                config = SystemConfig::small_test();
+            } else if arg == "--quick" {
+                length = RunLength::quick();
+            } else if arg == "--standard" {
+                length = RunLength::standard();
+            } else if arg == "--singles" {
+                workloads = WorkloadId::singles().to_vec();
+            } else if arg == "--mixes" {
+                workloads = WorkloadId::mixes().to_vec();
+            } else if let Some(list) = arg.strip_prefix("--workloads=") {
+                workloads = list
+                    .split(',')
+                    .map(|name| {
+                        WorkloadId::from_name(name.trim())
+                            .unwrap_or_else(|| panic!("unknown workload '{name}'"))
+                    })
+                    .collect();
+            } else if let Some(cores) = arg.strip_prefix("--cores=") {
+                let cores: usize = cores.parse().expect("--cores=N needs a number");
+                config.cores = cores;
+            } else if arg == "--help" || arg == "-h" {
+                print_usage();
+                std::process::exit(0);
+            } else {
+                print_usage();
+                panic!("unknown argument '{arg}'");
+            }
+        }
+        Self { length, workloads, config }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: <experiment> [--test|--quick|--standard] [--singles|--mixes] \
+         [--workloads=a,b,c] [--cores=N]"
+    );
+}
+
+/// Prints a standard experiment header.
+pub fn print_header(id: &str, title: &str, cli: &Cli) {
+    println!("==============================================================");
+    println!("{id}: {title}");
+    println!(
+        "cores={} policy-baseline={} workloads={} measure={} instr/core",
+        cli.config.cores,
+        cli.config.label(),
+        cli.workloads.len(),
+        cli.length.measure
+    );
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cli_covers_all_workloads() {
+        let cli = Cli::from_args(std::iter::empty());
+        assert_eq!(cli.workloads.len(), 29);
+        assert_eq!(cli.config.cores, 8);
+    }
+
+    #[test]
+    fn flags_are_parsed() {
+        let cli = Cli::from_args(
+            ["--test".to_string(), "--workloads=lbm,copy".to_string()].into_iter(),
+        );
+        assert_eq!(cli.workloads, vec![WorkloadId::Lbm, WorkloadId::Copy]);
+        assert_eq!(cli.length, RunLength::test());
+        let cli = Cli::from_args(["--mixes".to_string()].into_iter());
+        assert_eq!(cli.workloads.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = Cli::from_args(["--workloads=bogus".to_string()].into_iter());
+    }
+}

@@ -1,0 +1,12 @@
+//! # bard-bench — benchmark harness for the BARD reproduction
+//!
+//! This crate hosts:
+//!
+//! * one experiment binary per table/figure of the paper (`src/bin/`),
+//! * Criterion micro-benchmarks of the simulator building blocks (`benches/`),
+//! * shared command-line and output helpers in [`harness`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;

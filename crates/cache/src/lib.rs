@@ -1,0 +1,48 @@
+//! # bard-cache — cache substrate for the BARD reproduction
+//!
+//! Generic set-associative cache structures used to build the three-level
+//! hierarchy of the paper's baseline (Table II): L1D, L2 and a sliced LLC.
+//!
+//! The crate provides:
+//!
+//! * [`SetAssocCache`]: a set-associative cache with per-line dirty bits and
+//!   explicit *primitives* (probe / evict / cleanse / fill-at-way) so that
+//!   higher-level writeback policies — BARD-E/C/H, Eager Writeback, Virtual
+//!   Write Queue — can be layered on top without the cache knowing about
+//!   DRAM geometry,
+//! * replacement policies: true [`Lru`], [`Srrip`] (2-bit RRPV) and
+//!   [`Ship`] (signature-based hit prediction), all exposing the
+//!   *eviction order* BARD scans (LRU→MRU, or highest→lowest RRPV),
+//! * a [`MshrFile`] for tracking outstanding misses with request merging,
+//! * simple prefetchers (IP-stride and next-line) standing in for the
+//!   paper's Berti and SPP prefetchers,
+//! * per-cache [`CacheStats`].
+//!
+//! ## Example
+//!
+//! ```
+//! use bard_cache::{CacheConfig, SetAssocCache, ReplacementKind};
+//!
+//! let mut l1 = SetAssocCache::new(CacheConfig::new(48 * 1024, 12, 64), ReplacementKind::Lru);
+//! assert!(!l1.touch(0x1000, 0, false)); // cold miss
+//! let fill = l1.fill(0x1000, false, 0);
+//! assert!(fill.evicted.is_none());
+//! assert!(l1.touch(0x1000, 0, false)); // now a hit
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod cache;
+pub mod mshr;
+pub mod prefetch;
+pub mod replacement;
+pub mod stats;
+
+pub use block::{CacheLine, EvictedLine};
+pub use cache::{CacheConfig, FillResult, SetAssocCache};
+pub use mshr::{MshrError, MshrFile};
+pub use prefetch::{IpStridePrefetcher, NextLinePrefetcher, Prefetcher};
+pub use replacement::{Lru, ReplacementKind, ReplacementPolicy, Ship, Srrip};
+pub use stats::CacheStats;

@@ -1,0 +1,212 @@
+//! Miss-status holding registers (MSHRs) with request merging.
+
+use std::collections::HashMap;
+
+/// Error returned when an MSHR cannot be allocated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrError {
+    /// All MSHR entries are in use; the requester must stall.
+    Full,
+}
+
+impl std::fmt::Display for MshrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Full => write!(f, "all MSHR entries are in use"),
+        }
+    }
+}
+
+impl std::error::Error for MshrError {}
+
+/// One outstanding miss.
+#[derive(Debug, Clone, Default)]
+struct MshrEntry {
+    /// Opaque waiter tokens (for example ROB indices) merged onto this miss.
+    waiters: Vec<u64>,
+    /// Whether any of the merged requests is a demand write (the fill must be
+    /// installed dirty).
+    write_requested: bool,
+    /// Whether the entry was created by a prefetch and no demand has merged
+    /// into it yet.
+    prefetch_only: bool,
+}
+
+/// A file of MSHRs keyed by line address.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    entries: HashMap<u64, MshrEntry>,
+    peak_occupancy: usize,
+    merges: u64,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            peak_occupancy: 0,
+            merges: 0,
+        }
+    }
+
+    /// Capacity of the file.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Outstanding misses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no miss is outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when no more misses can be tracked.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Highest simultaneous occupancy observed.
+    #[must_use]
+    pub fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    /// Number of requests merged into already-outstanding misses.
+    #[must_use]
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// True if a miss to `line_addr` is already outstanding.
+    #[must_use]
+    pub fn contains(&self, line_addr: u64) -> bool {
+        self.entries.contains_key(&line_addr)
+    }
+
+    /// Registers a miss to `line_addr`.
+    ///
+    /// Returns `Ok(true)` if a new entry was allocated (the caller must send
+    /// the request down the hierarchy) and `Ok(false)` if the request was
+    /// merged into an existing entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MshrError::Full`] if a new entry is needed but the file is
+    /// full.
+    pub fn allocate(
+        &mut self,
+        line_addr: u64,
+        waiter: u64,
+        is_write: bool,
+        is_prefetch: bool,
+    ) -> Result<bool, MshrError> {
+        if let Some(entry) = self.entries.get_mut(&line_addr) {
+            entry.waiters.push(waiter);
+            entry.write_requested |= is_write;
+            if !is_prefetch {
+                entry.prefetch_only = false;
+            }
+            self.merges += 1;
+            return Ok(false);
+        }
+        if self.is_full() {
+            return Err(MshrError::Full);
+        }
+        self.entries.insert(
+            line_addr,
+            MshrEntry {
+                waiters: vec![waiter],
+                write_requested: is_write,
+                prefetch_only: is_prefetch,
+            },
+        );
+        self.peak_occupancy = self.peak_occupancy.max(self.entries.len());
+        Ok(true)
+    }
+
+    /// Completes the miss for `line_addr`, returning the waiters, whether the
+    /// fill should be installed dirty, and whether the entry stayed
+    /// prefetch-only. Returns `None` if no such miss is outstanding.
+    pub fn complete(&mut self, line_addr: u64) -> Option<(Vec<u64>, bool, bool)> {
+        self.entries
+            .remove(&line_addr)
+            .map(|e| (e.waiters, e.write_requested, e.prefetch_only))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_complete_round_trip() {
+        let mut m = MshrFile::new(4);
+        assert!(m.allocate(0x100, 1, false, false).unwrap());
+        assert!(m.contains(0x100));
+        let (waiters, dirty, prefetch_only) = m.complete(0x100).unwrap();
+        assert_eq!(waiters, vec![1]);
+        assert!(!dirty);
+        assert!(!prefetch_only);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn secondary_misses_merge() {
+        let mut m = MshrFile::new(2);
+        assert!(m.allocate(0x100, 1, false, false).unwrap());
+        assert!(!m.allocate(0x100, 2, true, false).unwrap());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.merges(), 1);
+        let (waiters, dirty, _) = m.complete(0x100).unwrap();
+        assert_eq!(waiters, vec![1, 2]);
+        assert!(dirty, "a merged write should make the fill dirty");
+    }
+
+    #[test]
+    fn full_file_rejects_new_misses_but_accepts_merges() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0x100, 1, false, false).unwrap();
+        assert_eq!(m.allocate(0x200, 2, false, false), Err(MshrError::Full));
+        assert!(!m.allocate(0x100, 3, false, false).unwrap());
+    }
+
+    #[test]
+    fn prefetch_only_flag_clears_on_demand_merge() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0x300, 1, false, true).unwrap();
+        m.allocate(0x300, 2, false, false).unwrap();
+        let (_, _, prefetch_only) = m.complete(0x300).unwrap();
+        assert!(!prefetch_only);
+    }
+
+    #[test]
+    fn complete_unknown_address_is_none() {
+        let mut m = MshrFile::new(2);
+        assert!(m.complete(0xdead).is_none());
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_maximum() {
+        let mut m = MshrFile::new(8);
+        for i in 0..5u64 {
+            m.allocate(i * 64, i, false, false).unwrap();
+        }
+        for i in 0..5u64 {
+            m.complete(i * 64).unwrap();
+        }
+        assert_eq!(m.peak_occupancy(), 5);
+        assert!(m.is_empty());
+    }
+}

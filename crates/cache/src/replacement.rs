@@ -1,0 +1,403 @@
+//! Cache replacement policies.
+//!
+//! Three policies from the paper's evaluation are provided: true LRU
+//! (baseline, Table II), SRRIP and SHiP (Section VII-E / Figure 15). All of
+//! them expose [`ReplacementPolicy::eviction_order`], the ordering that BARD
+//! scans when looking for a low-cost dirty line — LRU→MRU for LRU, and
+//! highest→lowest RRPV for the RRIP-based policies.
+
+/// Which replacement policy to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementKind {
+    /// True least-recently-used.
+    #[default]
+    Lru,
+    /// Static re-reference interval prediction (2-bit RRPV).
+    Srrip,
+    /// Signature-based hit predictor layered on RRIP.
+    Ship,
+}
+
+impl ReplacementKind {
+    /// Builds a boxed policy instance for a cache of `sets` x `ways`.
+    #[must_use]
+    pub fn build(self, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+        match self {
+            Self::Lru => Box::new(Lru::new(sets, ways)),
+            Self::Srrip => Box::new(Srrip::new(sets, ways)),
+            Self::Ship => Box::new(Ship::new(sets, ways)),
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Lru => "LRU",
+            Self::Srrip => "SRRIP",
+            Self::Ship => "SHiP",
+        }
+    }
+}
+
+/// Interface every replacement policy implements.
+///
+/// The cache calls `on_hit` / `on_insert` / `on_evict` to keep the policy
+/// state up to date and `victim` / `eviction_order` to make decisions. Ways
+/// holding invalid lines are handled by the cache itself and never reach the
+/// policy.
+pub trait ReplacementPolicy: std::fmt::Debug + Send {
+    /// Records a hit on `way` of `set`.
+    fn on_hit(&mut self, set: usize, way: usize, signature: u16);
+    /// Records a fill into `way` of `set`.
+    fn on_insert(&mut self, set: usize, way: usize, signature: u16);
+    /// Records the eviction of `way` of `set`; `reused` reports whether the
+    /// line was hit at least once while resident (used by SHiP training).
+    fn on_evict(&mut self, set: usize, way: usize, reused: bool);
+    /// Chooses the victim way for `set` among `ways` valid ways.
+    fn victim(&mut self, set: usize) -> usize;
+    /// Writes all ways of `set` into `out`, most-evictable first (LRU→MRU or
+    /// highest→lowest RRPV). Ties are broken by way index.
+    fn eviction_order(&self, set: usize, out: &mut Vec<usize>);
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// True LRU: per-way timestamps updated on every touch.
+#[derive(Debug, Clone)]
+pub struct Lru {
+    ways: usize,
+    stamp: u64,
+    last_use: Vec<u64>,
+}
+
+impl Lru {
+    /// Creates an LRU policy for `sets` x `ways`.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            stamp: 0,
+            last_use: vec![0; sets * ways],
+        }
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn touch(&mut self, set: usize, way: usize) {
+        self.stamp += 1;
+        let idx = self.idx(set, way);
+        self.last_use[idx] = self.stamp;
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn on_hit(&mut self, set: usize, way: usize, _signature: u16) {
+        self.touch(set, way);
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, _signature: u16) {
+        self.touch(set, way);
+    }
+
+    fn on_evict(&mut self, _set: usize, _way: usize, _reused: bool) {}
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        (0..self.ways)
+            .min_by_key(|w| self.last_use[base + w])
+            .expect("ways > 0")
+    }
+
+    fn eviction_order(&self, set: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..self.ways);
+        let base = set * self.ways;
+        out.sort_by_key(|&w| (self.last_use[base + w], w));
+    }
+
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+}
+
+/// Maximum re-reference prediction value for a 2-bit RRPV.
+const RRPV_MAX: u8 = 3;
+/// RRPV assigned on insertion by SRRIP ("long" re-reference interval).
+const RRPV_INSERT: u8 = 2;
+
+/// Static RRIP with 2-bit re-reference prediction values.
+#[derive(Debug, Clone)]
+pub struct Srrip {
+    ways: usize,
+    rrpv: Vec<u8>,
+}
+
+impl Srrip {
+    /// Creates an SRRIP policy for `sets` x `ways`.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+        }
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn victim_rrip(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        loop {
+            if let Some(way) = (0..self.ways).find(|w| self.rrpv[base + w] == RRPV_MAX) {
+                return way;
+            }
+            for w in 0..self.ways {
+                self.rrpv[base + w] += 1;
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for Srrip {
+    fn on_hit(&mut self, set: usize, way: usize, _signature: u16) {
+        let idx = self.idx(set, way);
+        self.rrpv[idx] = 0;
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, _signature: u16) {
+        let idx = self.idx(set, way);
+        self.rrpv[idx] = RRPV_INSERT;
+    }
+
+    fn on_evict(&mut self, _set: usize, _way: usize, _reused: bool) {}
+
+    fn victim(&mut self, set: usize) -> usize {
+        self.victim_rrip(set)
+    }
+
+    fn eviction_order(&self, set: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..self.ways);
+        let base = set * self.ways;
+        // Highest RRPV first (most evictable), ties by way index.
+        out.sort_by_key(|&w| (std::cmp::Reverse(self.rrpv[base + w]), w));
+    }
+
+    fn name(&self) -> &'static str {
+        "SRRIP"
+    }
+}
+
+/// Number of entries in the SHiP signature history counter table.
+const SHCT_ENTRIES: usize = 16 * 1024;
+/// Saturating counter maximum for the SHCT.
+const SHCT_MAX: u8 = 7;
+
+/// SHiP: signature-based hit prediction on top of RRIP.
+///
+/// Each fill records the PC signature; on eviction without reuse the
+/// signature's counter is decremented, on reuse it is incremented. Fills whose
+/// signature predicts no reuse are inserted with the maximum RRPV.
+#[derive(Debug, Clone)]
+pub struct Ship {
+    ways: usize,
+    rrpv: Vec<u8>,
+    line_sig: Vec<u16>,
+    shct: Vec<u8>,
+}
+
+impl Ship {
+    /// Creates a SHiP policy for `sets` x `ways`.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            ways,
+            rrpv: vec![RRPV_MAX; sets * ways],
+            line_sig: vec![0; sets * ways],
+            shct: vec![1; SHCT_ENTRIES],
+        }
+    }
+
+    fn idx(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn shct_index(signature: u16) -> usize {
+        signature as usize % SHCT_ENTRIES
+    }
+}
+
+impl ReplacementPolicy for Ship {
+    fn on_hit(&mut self, set: usize, way: usize, _signature: u16) {
+        let idx = self.idx(set, way);
+        self.rrpv[idx] = 0;
+        let sig = self.line_sig[idx];
+        let counter = &mut self.shct[Self::shct_index(sig)];
+        *counter = (*counter + 1).min(SHCT_MAX);
+    }
+
+    fn on_insert(&mut self, set: usize, way: usize, signature: u16) {
+        let idx = self.idx(set, way);
+        self.line_sig[idx] = signature;
+        let predicted_dead = self.shct[Self::shct_index(signature)] == 0;
+        self.rrpv[idx] = if predicted_dead { RRPV_MAX } else { RRPV_INSERT };
+    }
+
+    fn on_evict(&mut self, set: usize, way: usize, reused: bool) {
+        let idx = self.idx(set, way);
+        let sig = self.line_sig[idx];
+        if !reused {
+            let counter = &mut self.shct[Self::shct_index(sig)];
+            *counter = counter.saturating_sub(1);
+        }
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        let base = set * self.ways;
+        loop {
+            if let Some(way) = (0..self.ways).find(|w| self.rrpv[base + w] == RRPV_MAX) {
+                return way;
+            }
+            for w in 0..self.ways {
+                self.rrpv[base + w] += 1;
+            }
+        }
+    }
+
+    fn eviction_order(&self, set: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(0..self.ways);
+        let base = set * self.ways;
+        out.sort_by_key(|&w| (std::cmp::Reverse(self.rrpv[base + w]), w));
+    }
+
+    fn name(&self) -> &'static str {
+        "SHiP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut p = Lru::new(1, 4);
+        for way in 0..4 {
+            p.on_insert(0, way, 0);
+        }
+        p.on_hit(0, 0, 0); // way 0 becomes MRU
+        assert_eq!(p.victim(0), 1);
+        let mut order = Vec::new();
+        p.eviction_order(0, &mut order);
+        assert_eq!(order, vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn lru_eviction_order_is_lru_to_mru() {
+        let mut p = Lru::new(2, 4);
+        for way in [2, 0, 3, 1] {
+            p.on_insert(1, way, 0);
+        }
+        let mut order = Vec::new();
+        p.eviction_order(1, &mut order);
+        assert_eq!(order, vec![2, 0, 3, 1]);
+        // A different set is unaffected.
+        p.eviction_order(0, &mut order);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn srrip_hits_promote_and_misses_age() {
+        let mut p = Srrip::new(1, 4);
+        for way in 0..4 {
+            p.on_insert(0, way, 0);
+        }
+        p.on_hit(0, 2, 0);
+        // All ways were inserted at RRPV=2; way 2 is now 0. The victim search
+        // ages everyone until some way reaches 3, so way 0 (first in way
+        // order) is the victim, not way 2.
+        let v = p.victim(0);
+        assert_ne!(v, 2);
+        let mut order = Vec::new();
+        p.eviction_order(0, &mut order);
+        assert_eq!(*order.last().unwrap(), 2, "the hit way is the least evictable");
+    }
+
+    #[test]
+    fn srrip_victim_prefers_rrpv_max() {
+        let mut p = Srrip::new(1, 4);
+        p.on_insert(0, 0, 0);
+        p.on_insert(0, 1, 0);
+        // Ways 2 and 3 never inserted: their RRPV stays at the max.
+        assert_eq!(p.victim(0), 2);
+    }
+
+    #[test]
+    fn ship_learns_dead_signatures() {
+        let mut p = Ship::new(1, 4);
+        let dead_sig = 42;
+        // Train: insert and evict the signature without reuse until the
+        // counter saturates at zero.
+        for _ in 0..4 {
+            p.on_insert(0, 0, dead_sig);
+            p.on_evict(0, 0, false);
+        }
+        // The next insert with this signature should be predicted dead and
+        // placed at RRPV_MAX (immediately evictable).
+        p.on_insert(0, 1, dead_sig);
+        p.on_insert(0, 2, 7); // live signature
+        let mut order = Vec::new();
+        p.eviction_order(0, &mut order);
+        assert_eq!(order[0], 0.max(0), "ways with RRPV_MAX lead the order");
+        assert!(order.iter().position(|&w| w == 1).unwrap() < order.iter().position(|&w| w == 2).unwrap());
+    }
+
+    #[test]
+    fn ship_reused_signatures_are_kept_longer() {
+        let mut p = Ship::new(1, 2);
+        let live = 9;
+        p.on_insert(0, 0, live);
+        p.on_hit(0, 0, live);
+        p.on_evict(0, 0, true);
+        p.on_insert(0, 0, live);
+        p.on_insert(0, 1, 1234);
+        // Both inserted at RRPV_INSERT; neither is at max, so victim search
+        // ages them equally and picks way 0 by index — just check it is valid.
+        let v = p.victim(0);
+        assert!(v < 2);
+    }
+
+    #[test]
+    fn kind_builds_named_policies() {
+        for (kind, name) in [
+            (ReplacementKind::Lru, "LRU"),
+            (ReplacementKind::Srrip, "SRRIP"),
+            (ReplacementKind::Ship, "SHiP"),
+        ] {
+            let p = kind.build(4, 4);
+            assert_eq!(p.name(), name);
+            assert_eq!(kind.name(), name);
+        }
+    }
+
+    #[test]
+    fn eviction_order_contains_every_way_exactly_once() {
+        for kind in [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Ship] {
+            let mut p = kind.build(2, 8);
+            for way in 0..8 {
+                p.on_insert(1, way, way as u16);
+            }
+            p.on_hit(1, 3, 3);
+            let mut order = Vec::new();
+            p.eviction_order(1, &mut order);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..8).collect::<Vec<_>>(), "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Full-system configuration (Table II of the paper).
+
+use bard_cache::ReplacementKind;
+use bard_cpu::CoreConfig;
+use bard_dram::DramConfig;
+
+use crate::policy::WritePolicyKind;
+
+/// Configuration of the simulated system: cores, cache hierarchy, LLC
+/// writeback policy and DRAM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Per-core parameters (ROB, widths, store buffer).
+    pub core: CoreConfig,
+    /// L1 data cache size in bytes (Table II: 48 KiB).
+    pub l1d_bytes: usize,
+    /// L1 data cache associativity (12).
+    pub l1d_ways: usize,
+    /// L2 size in bytes (512 KiB).
+    pub l2_bytes: usize,
+    /// L2 associativity (8).
+    pub l2_ways: usize,
+    /// Shared LLC size in bytes (16 MiB for 8 cores).
+    pub llc_bytes: usize,
+    /// LLC associativity (16).
+    pub llc_ways: usize,
+    /// Number of LLC slices.
+    pub llc_slices: usize,
+    /// Cache line size in bytes (64).
+    pub line_bytes: usize,
+    /// LLC replacement policy (LRU baseline; SRRIP / SHiP for Figure 15).
+    pub llc_replacement: ReplacementKind,
+    /// LLC writeback policy (baseline, BARD-E/C/H, EW, VWQ).
+    pub write_policy: WritePolicyKind,
+    /// DRAM configuration (Table I / Table II).
+    pub dram: DramConfig,
+    /// L1 hit latency in CPU cycles.
+    pub l1_latency: u64,
+    /// L2 hit latency (cumulative from the core) in CPU cycles.
+    pub l2_latency: u64,
+    /// LLC hit latency (cumulative from the core) in CPU cycles.
+    pub llc_latency: u64,
+    /// IP-stride prefetch degree at L1D (0 disables the prefetcher).
+    pub l1_prefetch_degree: usize,
+    /// Next-line prefetch degree at L2 (0 disables the prefetcher).
+    pub l2_prefetch_degree: usize,
+    /// Maximum outstanding DRAM reads tracked by the LLC MSHRs.
+    pub llc_mshrs: usize,
+    /// Maximum write-backs buffered between the LLC and the DRAM write
+    /// queues before fills are back-pressured.
+    pub writeback_buffer_entries: usize,
+    /// Seed for the workload generators.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The 8-core baseline of Table II.
+    #[must_use]
+    pub fn baseline_8core() -> Self {
+        Self {
+            cores: 8,
+            core: CoreConfig::baseline(),
+            l1d_bytes: 48 * 1024,
+            l1d_ways: 12,
+            l2_bytes: 512 * 1024,
+            l2_ways: 8,
+            llc_bytes: 16 * 1024 * 1024,
+            llc_ways: 16,
+            llc_slices: 8,
+            line_bytes: 64,
+            llc_replacement: ReplacementKind::Lru,
+            write_policy: WritePolicyKind::Baseline,
+            dram: DramConfig::ddr5_4800_x4(),
+            l1_latency: 4,
+            l2_latency: 16,
+            llc_latency: 48,
+            l1_prefetch_degree: 2,
+            l2_prefetch_degree: 0,
+            llc_mshrs: 128,
+            writeback_buffer_entries: 32,
+            seed: 0x1BAD_B002,
+        }
+    }
+
+    /// The 16-core configuration of Section VII-F: 32 MiB LLC, two DDR5
+    /// channels.
+    #[must_use]
+    pub fn baseline_16core() -> Self {
+        let mut cfg = Self::baseline_8core();
+        cfg.cores = 16;
+        cfg.llc_bytes = 32 * 1024 * 1024;
+        cfg.llc_slices = 16;
+        cfg.dram.channels = 2;
+        cfg
+    }
+
+    /// A reduced configuration for fast unit and integration tests: 2 cores,
+    /// small caches, no prefetching. The DRAM organisation is unchanged so
+    /// bank-parallelism behaviour is still representative.
+    #[must_use]
+    pub fn small_test() -> Self {
+        let mut cfg = Self::baseline_8core();
+        cfg.cores = 2;
+        cfg.l1d_bytes = 16 * 1024;
+        cfg.l1d_ways = 8;
+        cfg.l2_bytes = 64 * 1024;
+        cfg.l2_ways = 8;
+        cfg.llc_bytes = 512 * 1024;
+        cfg.llc_ways = 16;
+        cfg.llc_slices = 2;
+        cfg.l1_prefetch_degree = 0;
+        cfg.l2_prefetch_degree = 0;
+        cfg
+    }
+
+    /// Returns a copy with a different LLC writeback policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: WritePolicyKind) -> Self {
+        self.write_policy = policy;
+        self
+    }
+
+    /// Returns a copy with a different LLC replacement policy.
+    #[must_use]
+    pub fn with_replacement(mut self, replacement: ReplacementKind) -> Self {
+        self.llc_replacement = replacement;
+        self
+    }
+
+    /// Returns a copy with a different DRAM configuration.
+    #[must_use]
+    pub fn with_dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// A short label describing the policy/replacement combination, used in
+    /// reports ("bard-h/LRU", "baseline/SRRIP", ...).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.write_policy.label(), self.llc_replacement.name())
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("at least one core is required".into());
+        }
+        if !self.llc_slices.is_power_of_two() {
+            return Err("LLC slice count must be a power of two".into());
+        }
+        if self.l1_latency >= self.l2_latency || self.l2_latency >= self.llc_latency {
+            return Err("cache latencies must increase with level".into());
+        }
+        if self.llc_mshrs == 0 || self.writeback_buffer_entries == 0 {
+            return Err("MSHRs and writeback buffer must be non-empty".into());
+        }
+        self.dram.validate()
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::baseline_8core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table2() {
+        let c = SystemConfig::baseline_8core();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.core.rob_entries, 512);
+        assert_eq!(c.l1d_bytes, 48 * 1024);
+        assert_eq!(c.l1d_ways, 12);
+        assert_eq!(c.l2_bytes, 512 * 1024);
+        assert_eq!(c.llc_bytes, 16 * 1024 * 1024);
+        assert_eq!(c.llc_ways, 16);
+        assert_eq!(c.dram.channels, 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn sixteen_core_scales_llc_and_channels() {
+        let c = SystemConfig::baseline_16core();
+        assert_eq!(c.cores, 16);
+        assert_eq!(c.llc_bytes, 32 * 1024 * 1024);
+        assert_eq!(c.dram.channels, 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SystemConfig::baseline_8core()
+            .with_policy(WritePolicyKind::BardH)
+            .with_replacement(ReplacementKind::Srrip);
+        assert_eq!(c.write_policy, WritePolicyKind::BardH);
+        assert_eq!(c.llc_replacement, ReplacementKind::Srrip);
+        assert_eq!(c.label(), "bard-h/SRRIP");
+    }
+
+    #[test]
+    fn validate_rejects_inverted_latencies() {
+        let mut c = SystemConfig::baseline_8core();
+        c.l2_latency = 2;
+        assert!(c.validate().is_err());
+        let mut c = SystemConfig::baseline_8core();
+        c.cores = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        assert!(SystemConfig::small_test().validate().is_ok());
+    }
+}

@@ -1,0 +1,185 @@
+//! Experiment drivers: run workloads under one or more configurations and
+//! compare them, the way the paper's evaluation scripts do.
+
+use bard_workloads::WorkloadId;
+
+use crate::config::SystemConfig;
+use crate::metrics::{geomean_speedup_percent, speedup_percent, RunResult};
+use crate::system::System;
+
+/// How long to warm up and measure, in instructions per core.
+///
+/// The paper warms for 25 M and measures 100 M instructions on a compute
+/// cluster. These presets trade absolute numbers for laptop-scale runtimes
+/// while keeping every rate-style metric (IPC, MPKI, BLP, W%) stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLength {
+    /// Timing-free warm-up instructions per core (populates the caches).
+    pub functional_warmup: u64,
+    /// Timed warm-up instructions per core (populates queues and trackers).
+    pub timed_warmup: u64,
+    /// Measured instructions per core.
+    pub measure: u64,
+}
+
+impl RunLength {
+    /// Very fast runs for unit/integration tests (seconds).
+    #[must_use]
+    pub fn test() -> Self {
+        Self { functional_warmup: 150_000, timed_warmup: 5_000, measure: 25_000 }
+    }
+
+    /// Quick experiment runs (used by the default bench harness).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { functional_warmup: 1_000_000, timed_warmup: 50_000, measure: 400_000 }
+    }
+
+    /// Longer runs for more stable numbers.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { functional_warmup: 4_000_000, timed_warmup: 100_000, measure: 1_000_000 }
+    }
+}
+
+impl Default for RunLength {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Runs one workload under one configuration.
+#[must_use]
+pub fn run_workload(config: &SystemConfig, workload: WorkloadId, length: RunLength) -> RunResult {
+    let mut system = System::new(config.clone(), workload);
+    system.run(length.functional_warmup, length.timed_warmup, length.measure)
+}
+
+/// Runs a set of workloads under one configuration.
+#[must_use]
+pub fn run_workloads(
+    config: &SystemConfig,
+    workloads: &[WorkloadId],
+    length: RunLength,
+) -> Vec<RunResult> {
+    workloads
+        .iter()
+        .map(|w| run_workload(config, *w, length))
+        .collect()
+}
+
+/// The per-workload comparison of one test configuration against a baseline.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Label of the test configuration.
+    pub label: String,
+    /// Baseline results, one per workload.
+    pub baseline: Vec<RunResult>,
+    /// Test-configuration results, aligned with `baseline`.
+    pub test: Vec<RunResult>,
+}
+
+impl Comparison {
+    /// Runs `workloads` under both configurations.
+    #[must_use]
+    pub fn run(
+        baseline_config: &SystemConfig,
+        test_config: &SystemConfig,
+        workloads: &[WorkloadId],
+        length: RunLength,
+    ) -> Self {
+        Self {
+            label: test_config.label(),
+            baseline: run_workloads(baseline_config, workloads, length),
+            test: run_workloads(test_config, workloads, length),
+        }
+    }
+
+    /// Builds a comparison from pre-computed results (so several comparisons
+    /// can share one set of baseline runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two result vectors have different lengths or workload
+    /// orderings.
+    #[must_use]
+    pub fn from_results(label: impl Into<String>, baseline: Vec<RunResult>, test: Vec<RunResult>) -> Self {
+        assert_eq!(baseline.len(), test.len(), "mismatched result counts");
+        for (b, t) in baseline.iter().zip(&test) {
+            assert_eq!(b.workload, t.workload, "mismatched workload ordering");
+        }
+        Self { label: label.into(), baseline, test }
+    }
+
+    /// Per-workload speedup (per cent) of the test configuration.
+    #[must_use]
+    pub fn speedups_percent(&self) -> Vec<(WorkloadId, f64)> {
+        self.baseline
+            .iter()
+            .zip(&self.test)
+            .map(|(b, t)| (b.workload, speedup_percent(t, b)))
+            .collect()
+    }
+
+    /// Geometric-mean speedup (per cent) across the workloads.
+    #[must_use]
+    pub fn gmean_speedup_percent(&self) -> f64 {
+        let speedups: Vec<f64> = self.speedups_percent().iter().map(|(_, s)| *s).collect();
+        geomean_speedup_percent(&speedups)
+    }
+
+    /// Maximum per-workload speedup (per cent).
+    #[must_use]
+    pub fn max_speedup_percent(&self) -> f64 {
+        self.speedups_percent()
+            .iter()
+            .map(|(_, s)| *s)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::WritePolicyKind;
+
+    fn tiny() -> RunLength {
+        RunLength { functional_warmup: 200_000, timed_warmup: 2_000, measure: 12_000 }
+    }
+
+    #[test]
+    fn run_workload_produces_activity() {
+        let cfg = SystemConfig::small_test();
+        let r = run_workload(&cfg, WorkloadId::Copy, tiny());
+        assert!(r.completed);
+        assert!(r.dram_stats.writes > 0);
+    }
+
+    #[test]
+    fn comparison_aligns_workloads() {
+        let base = SystemConfig::small_test();
+        let test = base.clone().with_policy(WritePolicyKind::BardH);
+        let cmp = Comparison::run(&base, &test, &[WorkloadId::Lbm], tiny());
+        let speedups = cmp.speedups_percent();
+        assert_eq!(speedups.len(), 1);
+        assert_eq!(speedups[0].0, WorkloadId::Lbm);
+        assert!(speedups[0].1.is_finite());
+        assert!(cmp.gmean_speedup_percent().is_finite());
+        assert!(cmp.max_speedup_percent().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched result counts")]
+    fn from_results_rejects_mismatched_lengths() {
+        let cfg = SystemConfig::small_test();
+        let r = run_workload(&cfg, WorkloadId::Copy, tiny());
+        let _ = Comparison::from_results("x", vec![r], vec![]);
+    }
+
+    #[test]
+    fn run_lengths_are_ordered() {
+        assert!(RunLength::test().measure < RunLength::quick().measure);
+        assert!(RunLength::quick().measure < RunLength::standard().measure);
+        assert_eq!(RunLength::default(), RunLength::quick());
+    }
+}

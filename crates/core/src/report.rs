@@ -1,0 +1,151 @@
+//! Plain-text report formatting for the experiment binaries.
+//!
+//! Each table/figure binary in `bard-bench` prints rows in the same layout the
+//! paper reports, using these helpers so that the output stays consistent.
+
+use crate::metrics::RunResult;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut row: Vec<String> = row.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown (used when appending
+    /// results to EXPERIMENTS.md).
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals.
+#[must_use]
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}", fraction * 100.0)
+}
+
+/// One row of the Table IV-style workload characterisation.
+#[must_use]
+pub fn characterisation_row(result: &RunResult) -> Vec<String> {
+    vec![
+        result.workload.name().to_string(),
+        fmt(result.mpki(), 1),
+        fmt(result.wpki(), 1),
+        fmt(result.write_blp(), 1),
+        pct(result.write_time_fraction()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new(vec!["workload", "speedup"]);
+        t.push_row(vec!["lbm", "4.3"]);
+        t.push_row(vec!["bellmanford", "0.9"]);
+        let s = t.render();
+        assert!(s.contains("workload"));
+        assert!(s.lines().count() >= 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.push_row(vec!["1"]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["1", "2"]);
+        let md = t.render_markdown();
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(4.25, 1), "4.2");
+        assert_eq!(pct(0.33), "33.0");
+    }
+}

@@ -1,0 +1,434 @@
+//! The OoO-lite core model.
+//!
+//! The model captures the first-order behaviour that matters for this study:
+//! a large reorder buffer (512 entries, Table II), a dispatch/retire width,
+//! in-order retirement that blocks when the load at the ROB head has not yet
+//! received its data, and a finite store buffer so that memory back-pressure
+//! from write-backs can eventually stall the core. Instruction semantics are
+//! not modelled — the trace supplies the memory access stream.
+
+use crate::trace::{MemKind, TraceRecord, TraceSource};
+
+/// Configuration of one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Reorder-buffer capacity (instructions in flight).
+    pub rob_entries: usize,
+    /// Instructions dispatched per cycle.
+    pub dispatch_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Store-buffer capacity (outstanding stores issued to memory).
+    pub store_buffer_entries: usize,
+}
+
+impl CoreConfig {
+    /// The 512-entry-ROB, 4-wide core of Table II.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            rob_entries: 512,
+            dispatch_width: 4,
+            retire_width: 4,
+            store_buffer_entries: 64,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// A memory request issued by the core this cycle. `token` must be handed
+/// back via [`Core::complete_load`] / [`Core::complete_store`] when the
+/// access finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreRequest {
+    /// Completion token (the instruction's sequence number).
+    pub token: u64,
+    /// Load or store.
+    pub kind: MemKind,
+    /// Byte address.
+    pub addr: u64,
+    /// Instruction pointer (used as the SHiP signature source).
+    pub ip: u64,
+}
+
+/// Why dispatch stopped on a given cycle (statistics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Cycles in which nothing could be retired because the ROB head was an
+    /// incomplete load.
+    pub head_blocked_cycles: u64,
+    /// Dispatch stalls because the ROB was full.
+    pub rob_full_stalls: u64,
+    /// Dispatch stalls because the store buffer was full.
+    pub store_buffer_stalls: u64,
+    /// Dispatch stalls because the memory hierarchy refused the request.
+    pub memory_backpressure_stalls: u64,
+    /// Loads issued to the memory hierarchy.
+    pub loads_issued: u64,
+    /// Stores issued to the memory hierarchy.
+    pub stores_issued: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RobSlot {
+    /// Completed instruction (compute, store, or load whose data arrived).
+    Done,
+    /// A load still waiting for data.
+    PendingLoad,
+}
+
+/// The OoO-lite core.
+#[derive(Debug)]
+pub struct Core {
+    config: CoreConfig,
+    /// ROB entries; index 0 is the oldest in-flight instruction.
+    rob: std::collections::VecDeque<RobSlot>,
+    /// Sequence number of the instruction at the front of the ROB.
+    head_seq: u64,
+    /// Next sequence number to assign.
+    next_seq: u64,
+    /// Outstanding stores issued to memory.
+    store_buffer_used: usize,
+    /// Non-memory instructions still to dispatch from the current record.
+    pending_bubble: u32,
+    /// A memory instruction that could not be issued last cycle.
+    deferred: Option<TraceRecord>,
+    stats: CoreStats,
+}
+
+impl Core {
+    /// Creates a core.
+    #[must_use]
+    pub fn new(config: CoreConfig) -> Self {
+        Self {
+            config,
+            rob: std::collections::VecDeque::with_capacity(config.rob_entries),
+            head_seq: 0,
+            next_seq: 0,
+            store_buffer_used: 0,
+            pending_bubble: 0,
+            deferred: None,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// The core's configuration.
+    #[must_use]
+    pub fn config(&self) -> CoreConfig {
+        self.config
+    }
+
+    /// Statistics collected so far.
+    #[must_use]
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Instructions retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.stats.retired
+    }
+
+    /// Resets the statistics counters (used at the end of warm-up) while
+    /// keeping all microarchitectural state.
+    pub fn reset_stats(&mut self) {
+        self.stats = CoreStats::default();
+    }
+
+    /// Simulates one cycle: retire, then dispatch.
+    ///
+    /// `issue` is called for every memory access the core wants to start this
+    /// cycle; it returns `false` if the memory hierarchy cannot accept the
+    /// request (the core will retry next cycle).
+    pub fn cycle(
+        &mut self,
+        trace: &mut dyn TraceSource,
+        issue: &mut dyn FnMut(CoreRequest) -> bool,
+    ) {
+        self.stats.cycles += 1;
+        self.retire();
+        self.dispatch(trace, issue);
+    }
+
+    /// Marks the load with completion token `token` as done.
+    pub fn complete_load(&mut self, token: u64) {
+        if token < self.head_seq {
+            return; // already retired (should not normally happen)
+        }
+        let index = (token - self.head_seq) as usize;
+        if let Some(slot) = self.rob.get_mut(index) {
+            *slot = RobSlot::Done;
+        }
+    }
+
+    /// Marks the store with completion token `token` as having left the store
+    /// buffer (its write has been accepted by the L1).
+    pub fn complete_store(&mut self, _token: u64) {
+        self.store_buffer_used = self.store_buffer_used.saturating_sub(1);
+    }
+
+    fn retire(&mut self) {
+        let mut retired_this_cycle = 0;
+        while retired_this_cycle < self.config.retire_width {
+            match self.rob.front() {
+                Some(RobSlot::Done) => {
+                    self.rob.pop_front();
+                    self.head_seq += 1;
+                    self.stats.retired += 1;
+                    retired_this_cycle += 1;
+                }
+                Some(RobSlot::PendingLoad) => {
+                    self.stats.head_blocked_cycles += 1;
+                    break;
+                }
+                None => break,
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        trace: &mut dyn TraceSource,
+        issue: &mut dyn FnMut(CoreRequest) -> bool,
+    ) {
+        for _ in 0..self.config.dispatch_width {
+            if self.rob.len() >= self.config.rob_entries {
+                self.stats.rob_full_stalls += 1;
+                return;
+            }
+            // Drain pending non-memory instructions first.
+            if self.pending_bubble > 0 {
+                self.pending_bubble -= 1;
+                self.push_done();
+                continue;
+            }
+            // Fetch (or re-use the deferred) record.
+            let record = match self.deferred.take() {
+                Some(r) => r,
+                None => {
+                    let r = trace.next_record();
+                    if r.bubble > 0 {
+                        // Dispatch the first bubble instruction this slot and
+                        // remember the rest plus the memory instruction.
+                        self.pending_bubble = r.bubble - 1;
+                        self.deferred = Some(TraceRecord { bubble: 0, ..r });
+                        self.push_done();
+                        continue;
+                    }
+                    r
+                }
+            };
+            match record.access {
+                None => self.push_done(),
+                Some(access) => {
+                    let token = self.next_seq;
+                    match access.kind {
+                        MemKind::Load => {
+                            let ok = issue(CoreRequest {
+                                token,
+                                kind: MemKind::Load,
+                                addr: access.addr,
+                                ip: record.ip,
+                            });
+                            if !ok {
+                                self.stats.memory_backpressure_stalls += 1;
+                                self.deferred = Some(record);
+                                return;
+                            }
+                            self.stats.loads_issued += 1;
+                            self.rob.push_back(RobSlot::PendingLoad);
+                            self.next_seq += 1;
+                        }
+                        MemKind::Store => {
+                            if self.store_buffer_used >= self.config.store_buffer_entries {
+                                self.stats.store_buffer_stalls += 1;
+                                self.deferred = Some(record);
+                                return;
+                            }
+                            let ok = issue(CoreRequest {
+                                token,
+                                kind: MemKind::Store,
+                                addr: access.addr,
+                                ip: record.ip,
+                            });
+                            if !ok {
+                                self.stats.memory_backpressure_stalls += 1;
+                                self.deferred = Some(record);
+                                return;
+                            }
+                            self.stats.stores_issued += 1;
+                            self.store_buffer_used += 1;
+                            // Stores retire without waiting for memory.
+                            self.push_done();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn push_done(&mut self) {
+        self.rob.push_back(RobSlot::Done);
+        self.next_seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceRecord, VecTrace};
+
+    fn compute_trace() -> VecTrace {
+        VecTrace::new("compute", vec![TraceRecord::compute(0x400, 3)])
+    }
+
+    #[test]
+    fn pure_compute_reaches_dispatch_width_ipc() {
+        let mut core = Core::new(CoreConfig::baseline());
+        let mut trace = compute_trace();
+        let mut issue = |_req: CoreRequest| true;
+        for _ in 0..1_000 {
+            core.cycle(&mut trace, &mut issue);
+        }
+        let ipc = core.stats().ipc();
+        assert!(ipc > 3.8, "compute-only IPC should approach the 4-wide limit, got {ipc}");
+    }
+
+    #[test]
+    fn pending_load_blocks_retirement_until_completed() {
+        let mut core = Core::new(CoreConfig {
+            rob_entries: 16,
+            dispatch_width: 1,
+            retire_width: 1,
+            store_buffer_entries: 4,
+        });
+        let mut trace = VecTrace::new("loads", vec![TraceRecord::load(0x10, 0, 0x1000)]);
+        let mut tokens = Vec::new();
+        let mut issue = |req: CoreRequest| {
+            tokens.push(req.token);
+            true
+        };
+        for _ in 0..20 {
+            core.cycle(&mut trace, &mut issue);
+        }
+        // Every dispatched instruction is an un-completed load: nothing retires.
+        assert_eq!(core.retired(), 0);
+        assert!(core.stats().head_blocked_cycles > 0);
+        drop(issue);
+        let first = tokens[0];
+        core.complete_load(first);
+        let mut issue2 = |_req: CoreRequest| true;
+        core.cycle(&mut trace, &mut issue2);
+        assert_eq!(core.retired(), 1);
+    }
+
+    #[test]
+    fn rob_fills_when_loads_never_complete() {
+        let cfg = CoreConfig {
+            rob_entries: 8,
+            dispatch_width: 4,
+            retire_width: 4,
+            store_buffer_entries: 4,
+        };
+        let mut core = Core::new(cfg);
+        let mut trace = VecTrace::new("loads", vec![TraceRecord::load(0x10, 0, 0x1000)]);
+        let mut issue = |_req: CoreRequest| true;
+        for _ in 0..10 {
+            core.cycle(&mut trace, &mut issue);
+        }
+        assert!(core.stats().rob_full_stalls > 0);
+        assert_eq!(core.retired(), 0);
+    }
+
+    #[test]
+    fn store_buffer_backpressure_stalls_dispatch() {
+        let mut core = Core::new(CoreConfig {
+            rob_entries: 64,
+            dispatch_width: 2,
+            retire_width: 2,
+            store_buffer_entries: 2,
+        });
+        let mut trace = VecTrace::new("stores", vec![TraceRecord::store(0x20, 0, 0x2000)]);
+        let mut issue = |_req: CoreRequest| true;
+        for _ in 0..10 {
+            core.cycle(&mut trace, &mut issue);
+        }
+        // Only two stores fit in the store buffer; the rest stall.
+        assert_eq!(core.stats().stores_issued, 2);
+        assert!(core.stats().store_buffer_stalls > 0);
+        // Stores do retire (they do not block the ROB head).
+        assert!(core.retired() >= 2);
+        core.complete_store(0);
+        core.complete_store(1);
+        for _ in 0..5 {
+            core.cycle(&mut trace, &mut issue);
+        }
+        assert!(core.stats().stores_issued >= 4);
+    }
+
+    #[test]
+    fn memory_backpressure_is_retried() {
+        let mut core = Core::new(CoreConfig::baseline());
+        let mut trace = VecTrace::new("loads", vec![TraceRecord::load(0x10, 0, 0x40)]);
+        let mut refuse = |_req: CoreRequest| false;
+        for _ in 0..5 {
+            core.cycle(&mut trace, &mut refuse);
+        }
+        assert_eq!(core.stats().loads_issued, 0);
+        assert!(core.stats().memory_backpressure_stalls > 0);
+        // Once memory accepts again, the deferred load issues exactly once per record.
+        let mut accept = |_req: CoreRequest| true;
+        core.cycle(&mut trace, &mut accept);
+        assert!(core.stats().loads_issued > 0);
+    }
+
+    #[test]
+    fn bubbles_expand_to_the_right_instruction_count() {
+        let mut core = Core::new(CoreConfig::baseline());
+        let mut trace = VecTrace::new("bubbles", vec![TraceRecord::compute(0x30, 9)]);
+        let mut issue = |_req: CoreRequest| true;
+        for _ in 0..100 {
+            core.cycle(&mut trace, &mut issue);
+        }
+        // 10 instructions per record; with width 4 over 100 cycles all retire.
+        assert!(core.retired() >= 390);
+    }
+
+    #[test]
+    fn reset_stats_keeps_progressing() {
+        let mut core = Core::new(CoreConfig::baseline());
+        let mut trace = compute_trace();
+        let mut issue = |_req: CoreRequest| true;
+        for _ in 0..100 {
+            core.cycle(&mut trace, &mut issue);
+        }
+        core.reset_stats();
+        assert_eq!(core.retired(), 0);
+        for _ in 0..100 {
+            core.cycle(&mut trace, &mut issue);
+        }
+        assert!(core.retired() > 300);
+    }
+}

@@ -1,0 +1,174 @@
+//! A simple DRAM energy model.
+//!
+//! The paper reports relative power, energy and energy-delay product
+//! (Table IX). Absolute fidelity is not required, so this model charges a
+//! fixed energy per command class (derived from typical DDR5 IDD values) plus
+//! background energy per cycle, which is sufficient to preserve the ordering
+//! between configurations.
+
+use crate::stats::SubChannelStats;
+use crate::timing::cpu_cycles_to_ns;
+
+/// Energy cost constants, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Energy per ACT/PRE pair (row activation + restore), pJ.
+    pub act_pre_pj: f64,
+    /// Energy per read burst, pJ.
+    pub read_pj: f64,
+    /// Energy per write burst, pJ. Writes on x4 parts pay the on-die-ECC
+    /// read-modify-write, so this is slightly higher than a read.
+    pub write_pj: f64,
+    /// Energy per refresh operation, pJ.
+    pub refresh_pj: f64,
+    /// Background power per sub-channel, mW (charged per nanosecond).
+    pub background_mw: f64,
+}
+
+impl PowerModel {
+    /// Representative DDR5 x4 energy constants.
+    #[must_use]
+    pub fn ddr5_default() -> Self {
+        Self {
+            act_pre_pj: 180.0,
+            read_pj: 110.0,
+            write_pj: 130.0,
+            refresh_pj: 3_500.0,
+            background_mw: 90.0,
+        }
+    }
+
+    /// Computes the energy breakdown for a set of sub-channel statistics.
+    #[must_use]
+    pub fn energy(&self, stats: &SubChannelStats) -> EnergyBreakdown {
+        let ns = cpu_cycles_to_ns(stats.cycles);
+        let act_pre = stats.activates as f64 * self.act_pre_pj;
+        let read = stats.reads as f64 * self.read_pj;
+        let write = stats.writes as f64 * self.write_pj;
+        let refresh = stats.refreshes as f64 * self.refresh_pj;
+        // 1 mW for 1 ns = 1 pJ.
+        let background = self.background_mw * ns;
+        EnergyBreakdown {
+            act_pre_pj: act_pre,
+            read_pj: read,
+            write_pj: write,
+            refresh_pj: refresh,
+            background_pj: background,
+            elapsed_ns: ns,
+        }
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::ddr5_default()
+    }
+}
+
+/// Energy consumed by a sub-channel, split by source.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Activation / precharge energy, pJ.
+    pub act_pre_pj: f64,
+    /// Read burst energy, pJ.
+    pub read_pj: f64,
+    /// Write burst energy, pJ.
+    pub write_pj: f64,
+    /// Refresh energy, pJ.
+    pub refresh_pj: f64,
+    /// Background energy, pJ.
+    pub background_pj: f64,
+    /// Wall-clock covered, ns.
+    pub elapsed_ns: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    #[must_use]
+    pub fn total_pj(&self) -> f64 {
+        self.act_pre_pj + self.read_pj + self.write_pj + self.refresh_pj + self.background_pj
+    }
+
+    /// Mean power in milliwatts over the covered interval.
+    #[must_use]
+    pub fn mean_power_mw(&self) -> f64 {
+        if self.elapsed_ns == 0.0 {
+            0.0
+        } else {
+            self.total_pj() / self.elapsed_ns
+        }
+    }
+
+    /// Energy-delay product, in pJ * ns.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.total_pj() * self.elapsed_ns
+    }
+
+    /// Adds another breakdown to this one.
+    pub fn merge(&mut self, other: &EnergyBreakdown) {
+        self.act_pre_pj += other.act_pre_pj;
+        self.read_pj += other.read_pj;
+        self.write_pj += other.write_pj;
+        self.refresh_pj += other.refresh_pj;
+        self.background_pj += other.background_pj;
+        self.elapsed_ns = self.elapsed_ns.max(other.elapsed_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(reads: u64, writes: u64, acts: u64, cycles: u64) -> SubChannelStats {
+        SubChannelStats {
+            reads,
+            writes,
+            activates: acts,
+            cycles,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn more_traffic_costs_more_energy() {
+        let m = PowerModel::ddr5_default();
+        let low = m.energy(&stats(100, 50, 60, 100_000));
+        let high = m.energy(&stats(1_000, 500, 600, 100_000));
+        assert!(high.total_pj() > low.total_pj());
+        assert!(high.mean_power_mw() > low.mean_power_mw());
+    }
+
+    #[test]
+    fn background_energy_scales_with_time() {
+        let m = PowerModel::ddr5_default();
+        let short = m.energy(&stats(0, 0, 0, 4_000));
+        let long = m.energy(&stats(0, 0, 0, 8_000));
+        assert!((long.background_pj / short.background_pj - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_execution_lowers_edp_for_same_traffic() {
+        let m = PowerModel::ddr5_default();
+        let slow = m.energy(&stats(1_000, 400, 500, 1_000_000));
+        let fast = m.energy(&stats(1_000, 400, 500, 900_000));
+        assert!(fast.edp() < slow.edp());
+    }
+
+    #[test]
+    fn zero_time_power_is_zero_not_nan() {
+        let e = EnergyBreakdown::default();
+        assert_eq!(e.mean_power_mw(), 0.0);
+        assert_eq!(e.edp(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let m = PowerModel::ddr5_default();
+        let mut a = m.energy(&stats(10, 5, 6, 1_000));
+        let b = m.energy(&stats(10, 5, 6, 1_000));
+        let single = a.total_pj();
+        a.merge(&b);
+        assert!((a.total_pj() - 2.0 * single).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,261 @@
+//! DDR5 timing parameters (Table I of the paper) and clock-domain conversion.
+//!
+//! All parameters are stored in DRAM command-clock cycles (2400 MHz for
+//! DDR5-4800) and converted to CPU cycles (4 GHz) once, so the rest of the
+//! simulator can operate in a single clock domain.
+
+/// CPU core frequency in MHz (Table II: 4 GHz cores).
+pub const CPU_FREQ_MHZ: u64 = 4000;
+
+/// DDR5-4800 command-clock frequency in MHz (4800 MT/s, double data rate).
+pub const DRAM_FREQ_MHZ: u64 = 2400;
+
+/// Converts DRAM command-clock cycles to CPU cycles, rounding up.
+///
+/// With a 4 GHz core and a 2400 MHz DRAM clock the ratio is 5/3.
+///
+/// ```
+/// use bard_dram::timing::dram_to_cpu_cycles;
+/// assert_eq!(dram_to_cpu_cycles(3), 5);
+/// assert_eq!(dram_to_cpu_cycles(8), 14); // ceil(8 * 5 / 3)
+/// ```
+#[must_use]
+pub fn dram_to_cpu_cycles(dram_cycles: u64) -> u64 {
+    (dram_cycles * CPU_FREQ_MHZ).div_ceil(DRAM_FREQ_MHZ)
+}
+
+/// Converts DRAM command-clock cycles to nanoseconds.
+#[must_use]
+pub fn dram_cycles_to_ns(dram_cycles: u64) -> f64 {
+    dram_cycles as f64 * 1_000.0 / DRAM_FREQ_MHZ as f64
+}
+
+/// Converts CPU cycles to nanoseconds.
+#[must_use]
+pub fn cpu_cycles_to_ns(cpu_cycles: u64) -> f64 {
+    cpu_cycles as f64 * 1_000.0 / CPU_FREQ_MHZ as f64
+}
+
+/// DDR5 timing constraints.
+///
+/// Field values are in **DRAM command-clock cycles**. The values produced by
+/// [`TimingParams::ddr5_4800_x4`] follow Table I of the paper (DDR5 4800B x4
+/// devices); the x8 variant only changes `t_ccd_l_wr` as described in
+/// Section VII-D.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    /// Read CAS latency (command to first data beat).
+    pub cl: u64,
+    /// Write CAS latency.
+    pub cwl: u64,
+    /// Activate-to-read/write latency.
+    pub t_rcd: u64,
+    /// Precharge-to-activate latency.
+    pub t_rp: u64,
+    /// Activate-to-precharge latency.
+    pub t_ras: u64,
+    /// Write recovery: last write data beat to precharge.
+    pub t_wr: u64,
+    /// Burst length in command-clock cycles (BL/2 = 8 for a 64 B line on a
+    /// 32-bit sub-channel).
+    pub burst: u64,
+    /// Write-to-write delay, different bank group (`tCCD_S_WR`).
+    pub t_ccd_s_wr: u64,
+    /// Write-to-write delay, same bank group (`tCCD_L_WR`).
+    pub t_ccd_l_wr: u64,
+    /// Read-to-read delay, different bank group (`tCCD_S`).
+    pub t_ccd_s: u64,
+    /// Read-to-read delay, same bank group (`tCCD_L`).
+    pub t_ccd_l: u64,
+    /// Activate-to-activate delay, different bank group (`tRRD_S`).
+    pub t_rrd_s: u64,
+    /// Activate-to-activate delay, same bank group (`tRRD_L`).
+    pub t_rrd_l: u64,
+    /// Read-to-precharge delay (`tRTP`).
+    pub t_rtp: u64,
+    /// Write-to-read turnaround, different bank group (`tWTR_S`), measured
+    /// from the end of write data.
+    pub t_wtr_s: u64,
+    /// Write-to-read turnaround, same bank group (`tWTR_L`).
+    pub t_wtr_l: u64,
+    /// Four-activate window (`tFAW`).
+    pub t_faw: u64,
+    /// Average refresh interval (`tREFI`).
+    pub t_refi: u64,
+    /// Refresh cycle time (`tRFC`).
+    pub t_rfc: u64,
+}
+
+impl TimingParams {
+    /// Table I timings for DDR5-4800B x4 devices.
+    #[must_use]
+    pub fn ddr5_4800_x4() -> Self {
+        Self {
+            cl: 40,
+            cwl: 38,
+            t_rcd: 39,
+            t_rp: 39,
+            t_ras: 77,
+            t_wr: 72,
+            burst: 8,
+            t_ccd_s_wr: 8,
+            t_ccd_l_wr: 48,
+            t_ccd_s: 8,
+            t_ccd_l: 12,
+            t_rrd_s: 8,
+            t_rrd_l: 12,
+            t_rtp: 18,
+            t_wtr_s: 12,
+            t_wtr_l: 24,
+            t_faw: 32,
+            t_refi: 9_360,
+            t_rfc: 984,
+        }
+    }
+
+    /// Timings for x8 devices: the on-die-ECC read-modify-write is avoided so
+    /// `tCCD_L_WR` halves to roughly 10 ns (Section VII-D).
+    #[must_use]
+    pub fn ddr5_4800_x8() -> Self {
+        Self {
+            t_ccd_l_wr: 24,
+            ..Self::ddr5_4800_x4()
+        }
+    }
+
+    /// Converts every parameter into CPU cycles.
+    #[must_use]
+    pub fn to_cpu_cycles(self) -> TimingParams {
+        let c = dram_to_cpu_cycles;
+        TimingParams {
+            cl: c(self.cl),
+            cwl: c(self.cwl),
+            t_rcd: c(self.t_rcd),
+            t_rp: c(self.t_rp),
+            t_ras: c(self.t_ras),
+            t_wr: c(self.t_wr),
+            burst: c(self.burst),
+            t_ccd_s_wr: c(self.t_ccd_s_wr),
+            t_ccd_l_wr: c(self.t_ccd_l_wr),
+            t_ccd_s: c(self.t_ccd_s),
+            t_ccd_l: c(self.t_ccd_l),
+            t_rrd_s: c(self.t_rrd_s),
+            t_rrd_l: c(self.t_rrd_l),
+            t_rtp: c(self.t_rtp),
+            t_wtr_s: c(self.t_wtr_s),
+            t_wtr_l: c(self.t_wtr_l),
+            t_faw: c(self.t_faw),
+            t_refi: c(self.t_refi),
+            t_rfc: c(self.t_rfc),
+        }
+    }
+
+    /// Latency (DRAM cycles) of a write-to-write pair hitting a row-buffer
+    /// conflict in the same bank: `tRCD + CWL + tWR + tRP + tRCD` style chain
+    /// described by Figure 5 of the paper (~188 cycles).
+    #[must_use]
+    pub fn write_conflict_chain(&self) -> u64 {
+        self.t_rcd + self.cwl + self.t_wr + self.t_rp
+    }
+
+    /// The "bus turnaround" penalty (read-to-write direction change) in DRAM
+    /// cycles: the read data must finish before write data can start.
+    #[must_use]
+    pub fn read_to_write_turnaround(&self) -> u64 {
+        // RD at t occupies the bus until t + CL + burst; the next WR's data
+        // starts at t_wr_cmd + CWL, plus a small rank-switching bubble.
+        self.cl + self.burst + 2 - self.cwl.min(self.cl + self.burst)
+    }
+
+    /// The write-to-read turnaround penalty in DRAM cycles (measured from the
+    /// write command): data must drain plus `tWTR_S`.
+    #[must_use]
+    pub fn write_to_read_turnaround(&self) -> u64 {
+        self.cwl + self.burst + self.t_wtr_s
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::ddr5_4800_x4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let t = TimingParams::ddr5_4800_x4();
+        assert_eq!(t.cl, 40);
+        assert_eq!(t.cwl, 38);
+        assert_eq!(t.t_rcd, 39);
+        assert_eq!(t.t_rp, 39);
+        assert_eq!(t.t_ras, 77);
+        assert_eq!(t.t_wr, 72);
+        assert_eq!(t.burst, 8);
+        assert_eq!(t.t_ccd_s_wr, 8);
+        assert_eq!(t.t_ccd_l_wr, 48);
+    }
+
+    #[test]
+    fn table1_values_match_paper_nanoseconds() {
+        let t = TimingParams::ddr5_4800_x4();
+        // Table I reports: CL 16.6ns, CWL 15.8ns, tRCD 16.6ns, tRP 16.6ns,
+        // tRAS 32.1ns, tWR 30.4ns, BL/2 3.3ns, tCCD_S_WR 3.3ns, tCCD_L_WR 20.4ns.
+        let close = |cycles: u64, ns: f64| (dram_cycles_to_ns(cycles) - ns).abs() < 0.5;
+        assert!(close(t.cl, 16.6));
+        assert!(close(t.cwl, 15.8));
+        assert!(close(t.t_rcd, 16.6));
+        assert!(close(t.t_rp, 16.6));
+        assert!(close(t.t_ras, 32.1));
+        assert!(close(t.t_wr, 30.4));
+        assert!(close(t.burst, 3.3));
+        assert!(close(t.t_ccd_s_wr, 3.3));
+        assert!(close(t.t_ccd_l_wr, 20.4));
+    }
+
+    #[test]
+    fn same_bankgroup_write_is_6x_slower() {
+        let t = TimingParams::ddr5_4800_x4();
+        assert_eq!(t.t_ccd_l_wr / t.t_ccd_s_wr, 6);
+    }
+
+    #[test]
+    fn write_conflict_chain_is_roughly_24x() {
+        let t = TimingParams::ddr5_4800_x4();
+        let chain = t.write_conflict_chain();
+        // The paper quotes 188 cycles (23.5x the 8-cycle minimum).
+        assert_eq!(chain, 188);
+        assert!((chain as f64 / t.t_ccd_s_wr as f64) > 20.0);
+        assert!((chain as f64 / t.t_ccd_s_wr as f64) < 25.0);
+    }
+
+    #[test]
+    fn x8_halves_same_bankgroup_write_delay() {
+        let x4 = TimingParams::ddr5_4800_x4();
+        let x8 = TimingParams::ddr5_4800_x8();
+        assert_eq!(x8.t_ccd_l_wr, x4.t_ccd_l_wr / 2);
+        // everything else unchanged
+        assert_eq!(x8.cl, x4.cl);
+        assert_eq!(x8.t_wr, x4.t_wr);
+    }
+
+    #[test]
+    fn cpu_cycle_conversion_rounds_up() {
+        assert_eq!(dram_to_cpu_cycles(0), 0);
+        assert_eq!(dram_to_cpu_cycles(1), 2);
+        assert_eq!(dram_to_cpu_cycles(3), 5);
+        assert_eq!(dram_to_cpu_cycles(6), 10);
+        let t = TimingParams::ddr5_4800_x4().to_cpu_cycles();
+        assert_eq!(t.burst, 14); // ceil(8 * 5/3)
+        assert_eq!(t.t_ccd_l_wr, 80);
+    }
+
+    #[test]
+    fn ns_helpers_are_consistent() {
+        assert!((dram_cycles_to_ns(8) - 3.333).abs() < 0.01);
+        assert!((cpu_cycles_to_ns(4000) - 1000.0).abs() < 1e-9);
+    }
+}

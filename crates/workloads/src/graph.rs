@@ -1,0 +1,319 @@
+//! LIGRA-style graph-analytics trace generation.
+//!
+//! LIGRA kernels (pagerank, bc, bellman-ford, ...) traverse a graph in CSR
+//! form: the edge array is read sequentially per vertex while the destination
+//! vertices' property entries are read (and sometimes written) irregularly.
+//! Building and storing a multi-gigabyte graph is unnecessary for a memory
+//! trace, so this generator synthesises the same access structure from a
+//! procedural graph: per-vertex degrees follow a heavy-tailed distribution and
+//! edge destinations are produced by a hash, skewed so that a small set of
+//! "hot" vertices receives a disproportionate share of references (which is
+//! what gives real graph workloads their partial cache residency).
+
+use bard_cpu::{TraceRecord, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters describing one LIGRA-like workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphSpec {
+    /// Paper workload name.
+    pub name: &'static str,
+    /// Number of vertices in the synthetic graph.
+    pub vertices: u64,
+    /// Mean out-degree.
+    pub avg_degree: u64,
+    /// Bytes per vertex property entry.
+    pub property_bytes: u64,
+    /// Probability that visiting an edge also writes the destination's
+    /// property (relax / accumulate step).
+    pub property_store_fraction: f64,
+    /// Fraction of property references that go to the hot (high-degree,
+    /// cache-resident) vertex subset.
+    pub hot_vertex_fraction: f64,
+    /// Fraction of vertices considered hot.
+    pub hot_vertex_share: f64,
+    /// Mean non-memory instructions inserted per memory operation.
+    pub bubble: u32,
+}
+
+impl GraphSpec {
+    /// A generic medium-size graph: 8M vertices, average degree 16.
+    #[must_use]
+    pub fn generic(name: &'static str) -> Self {
+        Self {
+            name,
+            vertices: 8 * 1024 * 1024,
+            avg_degree: 16,
+            property_bytes: 8,
+            property_store_fraction: 0.3,
+            hot_vertex_fraction: 0.5,
+            hot_vertex_share: 0.02,
+            bubble: 4,
+        }
+    }
+}
+
+/// A trace source emitting the access pattern of a LIGRA edge-map phase.
+#[derive(Debug, Clone)]
+pub struct GraphWorkload {
+    spec: GraphSpec,
+    rng: StdRng,
+    /// Base of the (virtual) edge array.
+    edge_base: u64,
+    /// Base of the (virtual) offsets array.
+    offsets_base: u64,
+    /// Base of the (virtual) property array.
+    property_base: u64,
+    /// Current source vertex.
+    src: u64,
+    /// Edges remaining for the current source vertex.
+    edges_left: u64,
+    /// Running cursor into the edge array (bytes).
+    edge_cursor: u64,
+    /// What to emit next.
+    phase: Phase,
+    name: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Read `offsets[src]` (sequential, small).
+    Offsets,
+    /// Read `edges[cursor]` (sequential streaming).
+    Edge,
+    /// Read `property[dst]` (irregular).
+    PropertyRead { dst: u64 },
+    /// Write `property[dst]` (irregular, optional).
+    PropertyWrite { dst: u64 },
+}
+
+impl GraphWorkload {
+    /// Creates the workload for a given core (cores get disjoint graphs) and
+    /// RNG seed.
+    #[must_use]
+    pub fn new(spec: GraphSpec, core_id: usize, seed: u64) -> Self {
+        let core_base = 0x200_0000_0000u64 * (core_id as u64 + 1);
+        let edge_bytes = spec.vertices * spec.avg_degree * 8;
+        Self {
+            spec,
+            rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            edge_base: core_base,
+            offsets_base: core_base + edge_bytes + (1 << 30),
+            property_base: core_base + edge_bytes + (2 << 30),
+            src: 0,
+            edges_left: 0,
+            edge_cursor: 0,
+            phase: Phase::Offsets,
+            name: spec.name.to_string(),
+        }
+    }
+
+    /// The workload's parameters.
+    #[must_use]
+    pub fn spec(&self) -> GraphSpec {
+        self.spec
+    }
+
+    /// Heavy-tailed per-vertex degree derived deterministically from the
+    /// vertex id: most vertices have a small degree, a few have hundreds.
+    fn degree_of(&self, vertex: u64) -> u64 {
+        let h = splitmix(vertex.wrapping_mul(0xA24B_AED4_963E_E407));
+        let tail = h % 100;
+        let base = self.spec.avg_degree.max(1);
+        match tail {
+            0 => base * 24,
+            1..=4 => base * 5,
+            5..=30 => base,
+            _ => (base / 2).max(1),
+        }
+    }
+
+    /// Picks the destination vertex for the `i`-th edge of `src`, skewed
+    /// toward the hot subset.
+    fn destination(&mut self, src: u64, edge_index: u64) -> u64 {
+        let hot = self.rng.gen_bool(self.spec.hot_vertex_fraction);
+        let hot_vertices =
+            ((self.spec.vertices as f64 * self.spec.hot_vertex_share) as u64).max(1);
+        let h = splitmix(src.wrapping_mul(31).wrapping_add(edge_index));
+        if hot {
+            h % hot_vertices
+        } else {
+            h % self.spec.vertices
+        }
+    }
+
+    fn bubble(&mut self) -> u32 {
+        let mean = self.spec.bubble;
+        if mean == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=mean * 2)
+        }
+    }
+}
+
+impl TraceSource for GraphWorkload {
+    fn next_record(&mut self) -> TraceRecord {
+        let ip_base = 0x50_0000;
+        loop {
+            match self.phase {
+                Phase::Offsets => {
+                    let addr = self.offsets_base + self.src * 8;
+                    self.edges_left = self.degree_of(self.src);
+                    self.phase = if self.edges_left > 0 {
+                        Phase::Edge
+                    } else {
+                        self.src = (self.src + 1) % self.spec.vertices;
+                        Phase::Offsets
+                    };
+                    // Offsets are read sequentially and mostly hit; still emit
+                    // the access so the L1/L2 see the stream.
+                    let bubble = self.bubble();
+                    return TraceRecord::load(ip_base, bubble, addr);
+                }
+                Phase::Edge => {
+                    let addr = self.edge_base + self.edge_cursor;
+                    self.edge_cursor += 8;
+                    let edge_index = self.edges_left;
+                    self.edges_left -= 1;
+                    let dst = self.destination(self.src, edge_index);
+                    self.phase = Phase::PropertyRead { dst };
+                    let bubble = self.bubble();
+                    return TraceRecord::load(ip_base + 8, bubble, addr);
+                }
+                Phase::PropertyRead { dst } => {
+                    let addr = self.property_base + dst * self.spec.property_bytes;
+                    let store = self.rng.gen_bool(self.spec.property_store_fraction);
+                    self.phase = if store {
+                        Phase::PropertyWrite { dst }
+                    } else if self.edges_left > 0 {
+                        Phase::Edge
+                    } else {
+                        self.src = (self.src + 1) % self.spec.vertices;
+                        Phase::Offsets
+                    };
+                    let bubble = self.bubble();
+                    return TraceRecord::load(ip_base + 16, bubble, addr);
+                }
+                Phase::PropertyWrite { dst } => {
+                    let addr = self.property_base + dst * self.spec.property_bytes;
+                    self.phase = if self.edges_left > 0 {
+                        Phase::Edge
+                    } else {
+                        self.src = (self.src + 1) % self.spec.vertices;
+                        Phase::Offsets
+                    };
+                    let bubble = self.bubble();
+                    return TraceRecord::store(ip_base + 24, bubble, addr);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> GraphSpec {
+        GraphSpec {
+            vertices: 1024,
+            avg_degree: 8,
+            ..GraphSpec::generic("test-graph")
+        }
+    }
+
+    #[test]
+    fn emits_a_mix_of_loads_and_stores() {
+        let mut g = GraphWorkload::new(small_spec(), 0, 1);
+        let mut loads = 0;
+        let mut stores = 0;
+        for _ in 0..10_000 {
+            match g.next_record().access {
+                Some(a) if a.is_store() => stores += 1,
+                Some(_) => loads += 1,
+                None => {}
+            }
+        }
+        assert!(loads > 0 && stores > 0);
+        assert!(loads > stores, "graph kernels read more than they write");
+    }
+
+    #[test]
+    fn edge_array_is_streamed_sequentially() {
+        let mut g = GraphWorkload::new(small_spec(), 0, 2);
+        let mut edge_addrs = Vec::new();
+        for _ in 0..5_000 {
+            let r = g.next_record();
+            if r.ip == 0x50_0008 {
+                edge_addrs.push(r.access.unwrap().addr);
+            }
+        }
+        assert!(edge_addrs.len() > 10);
+        assert!(edge_addrs.windows(2).all(|w| w[1] == w[0] + 8));
+    }
+
+    #[test]
+    fn property_accesses_are_spread_over_vertices() {
+        let mut g = GraphWorkload::new(small_spec(), 0, 3);
+        let mut props = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            let r = g.next_record();
+            if r.ip == 0x50_0010 {
+                props.insert(r.access.unwrap().addr);
+            }
+        }
+        assert!(props.len() > 100, "property reads should touch many vertices, got {}", props.len());
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = GraphWorkload::new(small_spec(), 0, 10);
+        let mut b = GraphWorkload::new(small_spec(), 0, 11);
+        let sa: Vec<_> = (0..100).map(|_| a.next_record()).collect();
+        let sb: Vec<_> = (0..100).map(|_| b.next_record()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn different_cores_use_disjoint_address_ranges() {
+        let mut a = GraphWorkload::new(small_spec(), 0, 1);
+        let mut b = GraphWorkload::new(small_spec(), 1, 1);
+        let addr_a = a.next_record().access.unwrap().addr;
+        let addr_b = b.next_record().access.unwrap().addr;
+        assert!(addr_a.abs_diff(addr_b) >= 0x100_0000_0000);
+    }
+
+    #[test]
+    fn store_fraction_controls_write_intensity() {
+        let mut wr_heavy = GraphWorkload::new(
+            GraphSpec { property_store_fraction: 0.6, ..small_spec() },
+            0,
+            5,
+        );
+        let mut rd_heavy = GraphWorkload::new(
+            GraphSpec { property_store_fraction: 0.05, ..small_spec() },
+            0,
+            5,
+        );
+        let count_stores = |g: &mut GraphWorkload| {
+            (0..20_000)
+                .filter(|_| g.next_record().access.is_some_and(|a| a.is_store()))
+                .count()
+        };
+        assert!(count_stores(&mut wr_heavy) > 4 * count_stores(&mut rd_heavy));
+    }
+}

@@ -1,0 +1,47 @@
+//! # bard-workloads — synthetic workload traces for the BARD reproduction
+//!
+//! The paper evaluates 23 single-threaded workloads from SPEC2017, LIGRA,
+//! STREAM and Google server traces, plus 6 heterogeneous mixes (Tables III
+//! and IV). The original ChampSim traces are tens of gigabytes and not
+//! redistributable here, so this crate generates *synthetic* traces that
+//! reproduce each workload's memory behaviour at the level the BARD mechanism
+//! is sensitive to: LLC miss intensity (MPKI), write-back intensity (WPKI),
+//! streaming vs. irregular access structure, and footprint.
+//!
+//! Three generator families are provided:
+//!
+//! * [`StreamKernel`]: the four STREAM kernels (copy/scale/add/triad),
+//!   generated from the actual kernel access patterns,
+//! * [`GraphWorkload`]: LIGRA-style CSR edge traversals over a synthetic
+//!   power-law graph (edge-array streaming plus irregular vertex-property
+//!   reads/writes),
+//! * [`SyntheticWorkload`]: a parameterised generator (hot set + cold
+//!   footprint, streaming fraction, store fraction, compute bubble) used for
+//!   the SPEC2017 and Google-server-like workloads.
+//!
+//! [`WorkloadId`] is the registry tying paper workload names to generator
+//! parameters, and [`WorkloadId::per_core_workloads`] expands the Table III
+//! mixes onto cores.
+//!
+//! ## Example
+//!
+//! ```
+//! use bard_workloads::WorkloadId;
+//!
+//! let mut trace = WorkloadId::Lbm.build(0, 42);
+//! let record = trace.next_record();
+//! assert!(record.instructions() >= 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod registry;
+pub mod stream;
+pub mod synthetic;
+
+pub use graph::{GraphSpec, GraphWorkload};
+pub use registry::{Suite, WorkloadId};
+pub use stream::{StreamKernel, StreamKind};
+pub use synthetic::{SyntheticSpec, SyntheticWorkload};

@@ -1,0 +1,381 @@
+//! The workload registry: every workload evaluated in the paper (Table IV)
+//! and the six heterogeneous mixes (Table III), mapped to generator
+//! parameters.
+//!
+//! Parameter values were chosen so that the synthetic traces land in the same
+//! regime as the paper's Table IV characterisation (MPKI / WPKI ordering,
+//! write intensity, streaming vs. irregular structure); they are not intended
+//! to match the original traces instruction-for-instruction.
+
+use bard_cpu::TraceSource;
+
+use crate::graph::{GraphSpec, GraphWorkload};
+use crate::stream::{StreamKernel, StreamKind};
+use crate::synthetic::{SyntheticSpec, SyntheticWorkload};
+
+/// Benchmark suite a workload belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU 2017 memory-intensive workloads.
+    Spec2017,
+    /// LIGRA graph analytics kernels.
+    Ligra,
+    /// STREAM kernels.
+    Stream,
+    /// Google server traces.
+    GoogleServer,
+    /// Heterogeneous 8-workload mixes (Table III).
+    Mix,
+}
+
+/// Every workload evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum WorkloadId {
+    // SPEC2017
+    Cam4,
+    Roms,
+    Omnetpp,
+    Bwaves,
+    Fotonik3d,
+    Wrf,
+    Lbm,
+    // LIGRA
+    Triangle,
+    Cf,
+    PagerankDelta,
+    Mis,
+    Bc,
+    BellmanFord,
+    Pagerank,
+    Radii,
+    // STREAM
+    Scale,
+    Copy,
+    Triad,
+    Add,
+    // Google server
+    Whiskey,
+    Charlie,
+    Merced,
+    Delta,
+    // Mixes
+    Mix0,
+    Mix1,
+    Mix2,
+    Mix3,
+    Mix4,
+    Mix5,
+}
+
+impl WorkloadId {
+    /// The 23 single workloads, in the order the paper's figures use.
+    #[must_use]
+    pub fn singles() -> &'static [WorkloadId] {
+        use WorkloadId::*;
+        &[
+            Cam4, Roms, Omnetpp, Bwaves, Fotonik3d, Wrf, Lbm, Triangle, Cf, PagerankDelta, Mis,
+            Bc, BellmanFord, Pagerank, Radii, Scale, Copy, Triad, Add, Whiskey, Charlie, Merced,
+            Delta,
+        ]
+    }
+
+    /// The six mixes of Table III.
+    #[must_use]
+    pub fn mixes() -> &'static [WorkloadId] {
+        use WorkloadId::*;
+        &[Mix0, Mix1, Mix2, Mix3, Mix4, Mix5]
+    }
+
+    /// All workloads: singles followed by mixes (the x-axis of Figures 2, 3,
+    /// 10, 11, 14 and 15).
+    #[must_use]
+    pub fn all() -> Vec<WorkloadId> {
+        let mut v = Self::singles().to_vec();
+        v.extend_from_slice(Self::mixes());
+        v
+    }
+
+    /// The workload's name as it appears in the paper.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        use WorkloadId::*;
+        match self {
+            Cam4 => "cam4",
+            Roms => "roms",
+            Omnetpp => "omnetpp",
+            Bwaves => "bwaves",
+            Fotonik3d => "fotonik3d",
+            Wrf => "wrf",
+            Lbm => "lbm",
+            Triangle => "triangle",
+            Cf => "cf",
+            PagerankDelta => "pagerankdelta",
+            Mis => "mis",
+            Bc => "bc",
+            BellmanFord => "bellmanford",
+            Pagerank => "pagerank",
+            Radii => "radii",
+            Scale => "scale",
+            Copy => "copy",
+            Triad => "triad",
+            Add => "add",
+            Whiskey => "whiskey",
+            Charlie => "charlie",
+            Merced => "merced",
+            Delta => "delta",
+            Mix0 => "mix0",
+            Mix1 => "mix1",
+            Mix2 => "mix2",
+            Mix3 => "mix3",
+            Mix4 => "mix4",
+            Mix5 => "mix5",
+        }
+    }
+
+    /// Looks a workload up by its paper name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<WorkloadId> {
+        Self::all().into_iter().find(|w| w.name() == name)
+    }
+
+    /// The suite the workload belongs to.
+    #[must_use]
+    pub fn suite(self) -> Suite {
+        use WorkloadId::*;
+        match self {
+            Cam4 | Roms | Omnetpp | Bwaves | Fotonik3d | Wrf | Lbm => Suite::Spec2017,
+            Triangle | Cf | PagerankDelta | Mis | Bc | BellmanFord | Pagerank | Radii => {
+                Suite::Ligra
+            }
+            Scale | Copy | Triad | Add => Suite::Stream,
+            Whiskey | Charlie | Merced | Delta => Suite::GoogleServer,
+            Mix0 | Mix1 | Mix2 | Mix3 | Mix4 | Mix5 => Suite::Mix,
+        }
+    }
+
+    /// True for the Table III mixes.
+    #[must_use]
+    pub fn is_mix(self) -> bool {
+        self.suite() == Suite::Mix
+    }
+
+    /// The Table III constituents of a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a mix.
+    #[must_use]
+    pub fn mix_constituents(self) -> [WorkloadId; 8] {
+        use WorkloadId::*;
+        match self {
+            Mix0 => [Cam4, Omnetpp, Lbm, Cf, Mis, Whiskey, Merced, Delta],
+            Mix1 => [Roms, Bwaves, Triangle, PagerankDelta, Bc, Whiskey, Charlie, Delta],
+            Mix2 => [Roms, Fotonik3d, Wrf, Triangle, Bc, BellmanFord, Pagerank, Radii],
+            Mix3 => [Omnetpp, Bwaves, Cf, PagerankDelta, Mis, BellmanFord, Pagerank, Radii],
+            Mix4 => [Cam4, Fotonik3d, Wrf, Lbm, Bc, Radii, Charlie, Merced],
+            Mix5 => [Roms, Bwaves, Fotonik3d, Wrf, Lbm, Triangle, PagerankDelta, Delta],
+            _ => panic!("{} is not a mix", self.name()),
+        }
+    }
+
+    /// Which workload each of `cores` cores runs: rate mode (all cores run
+    /// copies of the same workload) for singles, the Table III constituents
+    /// for mixes (repeated or truncated if `cores != 8`).
+    #[must_use]
+    pub fn per_core_workloads(self, cores: usize) -> Vec<WorkloadId> {
+        if self.is_mix() {
+            let constituents = self.mix_constituents();
+            (0..cores).map(|i| constituents[i % 8]).collect()
+        } else {
+            vec![self; cores]
+        }
+    }
+
+    /// Builds the trace generator for one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a mix: mixes are per-core compositions, expand them
+    /// with [`per_core_workloads`](Self::per_core_workloads) first.
+    #[must_use]
+    pub fn build(self, core_id: usize, seed: u64) -> Box<dyn TraceSource> {
+        use WorkloadId::*;
+        assert!(!self.is_mix(), "mixes must be expanded with per_core_workloads");
+        let seed = seed ^ (self as u64).wrapping_mul(0x517C_C1B7_2722_0A95);
+        match self {
+            Scale => Box::new(StreamKernel::new(StreamKind::Scale, core_id)),
+            Copy => Box::new(StreamKernel::new(StreamKind::Copy, core_id)),
+            Triad => Box::new(StreamKernel::new(StreamKind::Triad, core_id)),
+            Add => Box::new(StreamKernel::new(StreamKind::Add, core_id)),
+            Triangle | Cf | PagerankDelta | Mis | Bc | BellmanFord | Pagerank | Radii => {
+                Box::new(GraphWorkload::new(self.graph_spec(), core_id, seed))
+            }
+            _ => Box::new(SyntheticWorkload::new(self.synthetic_spec(), core_id, seed)),
+        }
+    }
+
+    /// Generator parameters for the LIGRA workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is not a LIGRA kernel.
+    #[must_use]
+    pub fn graph_spec(self) -> GraphSpec {
+        use WorkloadId::*;
+        let base = GraphSpec::generic(self.name());
+        match self {
+            // MPKI 15.9, WPKI 8.1 — moderate traffic, frequent property writes.
+            Triangle => GraphSpec { avg_degree: 24, property_store_fraction: 0.38, hot_vertex_fraction: 0.72, bubble: 7, ..base },
+            // MPKI 48.3, WPKI 16.2 — heavy, write-rich.
+            Cf => GraphSpec { property_store_fraction: 0.30, hot_vertex_fraction: 0.42, bubble: 3, ..base },
+            // MPKI 25.3, WPKI 8.1.
+            PagerankDelta => GraphSpec { property_store_fraction: 0.26, hot_vertex_fraction: 0.60, bubble: 5, ..base },
+            // MPKI 26.1, WPKI 10.4.
+            Mis => GraphSpec { property_store_fraction: 0.34, hot_vertex_fraction: 0.60, bubble: 5, ..base },
+            // MPKI 57.2, WPKI 20.7 — heaviest writer of the graph suite.
+            Bc => GraphSpec { property_store_fraction: 0.32, hot_vertex_fraction: 0.36, bubble: 2, ..base },
+            // MPKI 45.2, WPKI 3.3 — read-dominated relaxations.
+            BellmanFord => GraphSpec { property_store_fraction: 0.06, hot_vertex_fraction: 0.40, bubble: 3, ..base },
+            // MPKI 70.0, WPKI 10.9 — most misses, moderate writes.
+            Pagerank => GraphSpec { property_store_fraction: 0.13, hot_vertex_fraction: 0.22, bubble: 2, ..base },
+            // MPKI 60.7, WPKI 16.0.
+            Radii => GraphSpec { property_store_fraction: 0.22, hot_vertex_fraction: 0.30, bubble: 2, ..base },
+            _ => panic!("{} is not a LIGRA workload", self.name()),
+        }
+    }
+
+    /// Generator parameters for the SPEC2017 and Google-server workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is a STREAM kernel, LIGRA kernel or mix.
+    #[must_use]
+    pub fn synthetic_spec(self) -> SyntheticSpec {
+        use WorkloadId::*;
+        let base = SyntheticSpec::generic(self.name());
+        match self {
+            // SPEC2017 — MPKI/WPKI targets from Table IV in the comments.
+            // cam4: 9.2 / 4.1, moderately write-heavy.
+            Cam4 => SyntheticSpec { hot_fraction: 0.90, streaming_fraction: 0.45, store_fraction: 0.44, mean_bubble: 9, ..base },
+            // roms: 13.2 / 2.7, streaming reads.
+            Roms => SyntheticSpec { hot_fraction: 0.89, streaming_fraction: 0.75, store_fraction: 0.20, mean_bubble: 7, ..base },
+            // omnetpp: 13.7 / 5.5, irregular pointer chasing.
+            Omnetpp => SyntheticSpec { hot_fraction: 0.90, streaming_fraction: 0.10, store_fraction: 0.40, mean_bubble: 6, ..base },
+            // bwaves: 20.8 / 6.1, streaming stencil.
+            Bwaves => SyntheticSpec { hot_fraction: 0.875, streaming_fraction: 0.80, store_fraction: 0.29, mean_bubble: 5, ..base },
+            // fotonik3d: 30.6 / 9.7.
+            Fotonik3d => SyntheticSpec { hot_fraction: 0.85, streaming_fraction: 0.80, store_fraction: 0.32, mean_bubble: 4, ..base },
+            // wrf: 25.4 / 7.3.
+            Wrf => SyntheticSpec { hot_fraction: 0.87, streaming_fraction: 0.70, store_fraction: 0.29, mean_bubble: 4, ..base },
+            // lbm: 48.5 / 25.5, the classic streaming read-modify-write stencil.
+            Lbm => SyntheticSpec { hot_fraction: 0.85, streaming_fraction: 0.90, store_fraction: 0.52, mean_bubble: 2, ..base },
+            // Google server traces: large irregular footprints, moderate writes.
+            // whiskey: 19.2 / 5.1.
+            Whiskey => SyntheticSpec { hot_fraction: 0.885, streaming_fraction: 0.20, store_fraction: 0.27, mean_bubble: 5, ..base },
+            // charlie: 16.1 / 5.3.
+            Charlie => SyntheticSpec { hot_fraction: 0.90, streaming_fraction: 0.20, store_fraction: 0.33, mean_bubble: 5, ..base },
+            // merced: 20.0 / 5.7.
+            Merced => SyntheticSpec { hot_fraction: 0.88, streaming_fraction: 0.25, store_fraction: 0.29, mean_bubble: 5, ..base },
+            // delta: 27.3 / 5.1.
+            Delta => SyntheticSpec { hot_fraction: 0.865, streaming_fraction: 0.25, store_fraction: 0.19, mean_bubble: 4, ..base },
+            _ => panic!("{} does not use the synthetic generator", self.name()),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_paper_workload_count() {
+        assert_eq!(WorkloadId::singles().len(), 23);
+        assert_eq!(WorkloadId::mixes().len(), 6);
+        assert_eq!(WorkloadId::all().len(), 29);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for w in WorkloadId::all() {
+            assert_eq!(WorkloadId::from_name(w.name()), Some(w));
+            assert_eq!(format!("{w}"), w.name());
+        }
+        assert_eq!(WorkloadId::from_name("not-a-workload"), None);
+    }
+
+    #[test]
+    fn every_single_workload_builds_a_trace() {
+        for w in WorkloadId::singles() {
+            let mut t = w.build(0, 1);
+            for _ in 0..100 {
+                let r = t.next_record();
+                assert!(r.instructions() >= 1);
+            }
+            assert_eq!(t.name(), w.name());
+        }
+    }
+
+    #[test]
+    fn mixes_match_table3() {
+        use WorkloadId::*;
+        assert_eq!(
+            Mix0.mix_constituents(),
+            [Cam4, Omnetpp, Lbm, Cf, Mis, Whiskey, Merced, Delta]
+        );
+        assert_eq!(
+            Mix5.mix_constituents(),
+            [Roms, Bwaves, Fotonik3d, Wrf, Lbm, Triangle, PagerankDelta, Delta]
+        );
+    }
+
+    #[test]
+    fn per_core_expansion_handles_rate_and_mix_modes() {
+        let rate = WorkloadId::Lbm.per_core_workloads(8);
+        assert_eq!(rate, vec![WorkloadId::Lbm; 8]);
+        let mix = WorkloadId::Mix2.per_core_workloads(8);
+        assert_eq!(mix.len(), 8);
+        assert_eq!(mix, WorkloadId::Mix2.mix_constituents().to_vec());
+        let mix16 = WorkloadId::Mix2.per_core_workloads(16);
+        assert_eq!(&mix16[..8], &mix16[8..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a mix")]
+    fn constituents_of_a_single_panics() {
+        let _ = WorkloadId::Lbm.mix_constituents();
+    }
+
+    #[test]
+    #[should_panic(expected = "expanded with per_core_workloads")]
+    fn building_a_mix_directly_panics() {
+        let _ = WorkloadId::Mix0.build(0, 1);
+    }
+
+    #[test]
+    fn suites_partition_the_workloads() {
+        use Suite::*;
+        let count = |s: Suite| WorkloadId::all().into_iter().filter(|w| w.suite() == s).count();
+        assert_eq!(count(Spec2017), 7);
+        assert_eq!(count(Ligra), 8);
+        assert_eq!(count(Stream), 4);
+        assert_eq!(count(GoogleServer), 4);
+        assert_eq!(count(Mix), 6);
+    }
+
+    #[test]
+    fn write_heavy_workloads_have_higher_store_fractions() {
+        let lbm = WorkloadId::Lbm.synthetic_spec();
+        let roms = WorkloadId::Roms.synthetic_spec();
+        assert!(lbm.store_fraction > roms.store_fraction);
+        let bc = WorkloadId::Bc.graph_spec();
+        let bellman = WorkloadId::BellmanFord.graph_spec();
+        assert!(bc.property_store_fraction > bellman.property_store_fraction);
+    }
+}

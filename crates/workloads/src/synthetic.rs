@@ -1,0 +1,255 @@
+//! Parameterised synthetic workload generator.
+//!
+//! Used for the SPEC2017 and Google-server workloads, whose traces are not
+//! redistributable. Each workload is described by a [`SyntheticSpec`]: a hot
+//! region sized to stay cache-resident, a cold footprint far larger than the
+//! LLC, the fraction of accesses that stream sequentially versus land
+//! randomly, the store fraction, and the amount of compute between memory
+//! operations. Together these control the quantities the BARD study depends
+//! on (MPKI, WPKI, streaming structure) — see Table IV of the paper and the
+//! calibration test in the `bard` crate.
+
+use bard_cpu::{TraceRecord, TraceSource};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Paper workload name.
+    pub name: &'static str,
+    /// Total cold footprint in bytes (far larger than the LLC).
+    pub footprint_bytes: u64,
+    /// Size of the hot, cache-resident region in bytes.
+    pub hot_bytes: u64,
+    /// Fraction of accesses that go to the hot region.
+    pub hot_fraction: f64,
+    /// Fraction of *cold* accesses that stream sequentially (the rest are
+    /// uniformly random over the cold footprint).
+    pub streaming_fraction: f64,
+    /// Fraction of memory accesses that are stores.
+    pub store_fraction: f64,
+    /// Mean non-memory instructions between memory operations.
+    pub mean_bubble: u32,
+    /// Number of independent sequential streams.
+    pub stream_count: usize,
+    /// Number of distinct instruction pointers to attribute accesses to
+    /// (matters for SHiP signatures and the IP-stride prefetcher).
+    pub ip_count: u64,
+}
+
+impl SyntheticSpec {
+    /// A reasonable default: 512 MiB footprint, 1 MiB hot region, mixed
+    /// behaviour.
+    #[must_use]
+    pub fn generic(name: &'static str) -> Self {
+        Self {
+            name,
+            footprint_bytes: 512 * 1024 * 1024,
+            hot_bytes: 1024 * 1024,
+            hot_fraction: 0.85,
+            streaming_fraction: 0.5,
+            store_fraction: 0.3,
+            mean_bubble: 4,
+            stream_count: 4,
+            ip_count: 64,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field (fractions outside
+    /// [0, 1], zero footprint, ...).
+    pub fn validate(&self) -> Result<(), String> {
+        let frac_ok = |v: f64| (0.0..=1.0).contains(&v);
+        if self.footprint_bytes == 0 || self.hot_bytes == 0 {
+            return Err("footprint and hot region must be non-empty".into());
+        }
+        if !frac_ok(self.hot_fraction)
+            || !frac_ok(self.streaming_fraction)
+            || !frac_ok(self.store_fraction)
+        {
+            return Err("fractions must lie in [0, 1]".into());
+        }
+        if self.stream_count == 0 || self.ip_count == 0 {
+            return Err("stream_count and ip_count must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// A trace source generating the access pattern described by a
+/// [`SyntheticSpec`].
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    spec: SyntheticSpec,
+    rng: StdRng,
+    hot_base: u64,
+    cold_base: u64,
+    stream_cursors: Vec<u64>,
+    name: String,
+}
+
+impl SyntheticWorkload {
+    /// Creates the workload for a given core and seed. Cores receive disjoint
+    /// address regions so rate-mode copies do not share data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`SyntheticSpec::validate`].
+    #[must_use]
+    pub fn new(spec: SyntheticSpec, core_id: usize, seed: u64) -> Self {
+        spec.validate().expect("invalid SyntheticSpec");
+        let core_base = 0x400_0000_0000u64 * (core_id as u64 + 1);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(core_id as u64));
+        let stream_cursors = (0..spec.stream_count)
+            .map(|i| core_base + (1 << 32) + i as u64 * (spec.footprint_bytes / spec.stream_count as u64))
+            .collect();
+        let _ = rng.gen::<u64>();
+        Self {
+            spec,
+            rng,
+            hot_base: core_base,
+            cold_base: core_base + (1 << 32),
+            stream_cursors,
+            name: spec.name.to_string(),
+        }
+    }
+
+    /// The workload's parameters.
+    #[must_use]
+    pub fn spec(&self) -> SyntheticSpec {
+        self.spec
+    }
+
+    fn next_address(&mut self) -> u64 {
+        if self.rng.gen_bool(self.spec.hot_fraction) {
+            // Hot region: random within a cache-resident area.
+            self.hot_base + self.rng.gen_range(0..self.spec.hot_bytes / 8) * 8
+        } else if self.rng.gen_bool(self.spec.streaming_fraction) {
+            // Streaming: advance one of the sequential cursors.
+            let idx = self.rng.gen_range(0..self.stream_cursors.len());
+            let segment = self.spec.footprint_bytes / self.stream_cursors.len() as u64;
+            let segment_base = self.cold_base + idx as u64 * segment;
+            let cursor = &mut self.stream_cursors[idx];
+            let addr = *cursor;
+            *cursor += 8;
+            if *cursor >= segment_base + segment {
+                *cursor = segment_base;
+            }
+            addr
+        } else {
+            // Irregular: uniform over the cold footprint.
+            self.cold_base + self.rng.gen_range(0..self.spec.footprint_bytes / 8) * 8
+        }
+    }
+
+    fn bubble(&mut self) -> u32 {
+        let mean = self.spec.mean_bubble;
+        if mean == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=mean * 2)
+        }
+    }
+}
+
+impl TraceSource for SyntheticWorkload {
+    fn next_record(&mut self) -> TraceRecord {
+        let addr = self.next_address();
+        let bubble = self.bubble();
+        let ip = 0x60_0000 + (self.rng.gen_range(0..self.spec.ip_count)) * 16;
+        if self.rng.gen_bool(self.spec.store_fraction) {
+            TraceRecord::store(ip, bubble, addr)
+        } else {
+            TraceRecord::load(ip, bubble, addr)
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SyntheticSpec {
+        SyntheticSpec {
+            footprint_bytes: 16 * 1024 * 1024,
+            hot_bytes: 64 * 1024,
+            ..SyntheticSpec::generic("test-synth")
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_fractions() {
+        let mut s = spec();
+        s.hot_fraction = 1.5;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.footprint_bytes = 0;
+        assert!(s.validate().is_err());
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn store_fraction_is_respected() {
+        let mut s = spec();
+        s.store_fraction = 0.25;
+        let mut w = SyntheticWorkload::new(s, 0, 7);
+        let stores = (0..40_000)
+            .filter(|_| w.next_record().access.is_some_and(|a| a.is_store()))
+            .count();
+        let fraction = stores as f64 / 40_000.0;
+        assert!((fraction - 0.25).abs() < 0.02, "observed store fraction {fraction}");
+    }
+
+    #[test]
+    fn hot_fraction_concentrates_accesses() {
+        let mut s = spec();
+        s.hot_fraction = 0.9;
+        let mut w = SyntheticWorkload::new(s, 0, 8);
+        let hot_base = w.hot_base;
+        let hot_end = hot_base + s.hot_bytes;
+        let hot = (0..40_000)
+            .filter(|_| {
+                let a = w.next_record().access.unwrap().addr;
+                a >= hot_base && a < hot_end
+            })
+            .count();
+        let fraction = hot as f64 / 40_000.0;
+        assert!((fraction - 0.9).abs() < 0.02, "observed hot fraction {fraction}");
+    }
+
+    #[test]
+    fn bubble_mean_tracks_spec() {
+        let mut s = spec();
+        s.mean_bubble = 10;
+        let mut w = SyntheticWorkload::new(s, 0, 9);
+        let total: u64 = (0..20_000).map(|_| u64::from(w.next_record().bubble)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 10.0).abs() < 0.5, "observed mean bubble {mean}");
+    }
+
+    #[test]
+    fn deterministic_for_the_same_seed() {
+        let mut a = SyntheticWorkload::new(spec(), 0, 42);
+        let mut b = SyntheticWorkload::new(spec(), 0, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_record(), b.next_record());
+        }
+    }
+
+    #[test]
+    fn cores_are_disjoint() {
+        let mut a = SyntheticWorkload::new(spec(), 0, 1);
+        let mut b = SyntheticWorkload::new(spec(), 3, 1);
+        let addr_a = a.next_record().access.unwrap().addr;
+        let addr_b = b.next_record().access.unwrap().addr;
+        assert!(addr_a.abs_diff(addr_b) >= 0x400_0000_0000);
+    }
+}

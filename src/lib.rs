@@ -1,0 +1,32 @@
+//! Workspace-level facade for the BARD (HPCA 2026) reproduction.
+//!
+//! The actual implementation lives in the workspace crates; this thin library
+//! exists so the repository-level `examples/` and `tests/` directories have a
+//! package to attach to, and it re-exports the public API for convenience.
+//!
+//! * [`bard`] — BARD policies, BLP-Tracker, full-system simulator, experiment
+//!   drivers.
+//! * [`bard_dram`] — the DDR5 memory model.
+//! * [`bard_cache`] — caches, replacement policies, prefetchers.
+//! * [`bard_cpu`] — the trace-driven core model.
+//! * [`bard_workloads`] — the synthetic workload registry.
+
+pub use bard;
+pub use bard_cache;
+pub use bard_cpu;
+pub use bard_dram;
+pub use bard_workloads;
+
+/// A one-line sanity helper used by the repository smoke test.
+#[must_use]
+pub fn crate_inventory() -> Vec<&'static str> {
+    vec!["bard", "bard-dram", "bard-cache", "bard-cpu", "bard-workloads", "bard-bench"]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inventory_lists_all_crates() {
+        assert_eq!(super::crate_inventory().len(), 6);
+    }
+}

@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 i = i.wrapping_add(1);
                 let addr = 0x1_0000_0000 + i * 64;
-                llc.fill(addr, 0, i % 3 == 0, &mut writebacks, &mut oracle);
+                llc.fill(addr, 0, i.is_multiple_of(3), &mut writebacks, &mut oracle);
                 writebacks.clear();
             });
         });

@@ -17,8 +17,8 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 i = i.wrapping_add(0x9E37_79B9);
                 let addr = (i % (8 * 1024 * 1024)) & !63;
-                if !cache.touch(addr, (i >> 8) as u16, i % 3 == 0) {
-                    cache.fill(addr, i % 3 == 0, (i >> 8) as u16);
+                if !cache.touch(addr, (i >> 8) as u16, i.is_multiple_of(3)) {
+                    cache.fill(addr, i.is_multiple_of(3), (i >> 8) as u16);
                 }
             });
         });

@@ -1,9 +1,8 @@
 //! Figure 2: percentage of execution time spent issuing writes to DRAM for
 //! the baseline and for an idealised system where every write takes 3.3 ns.
 
-use bard::experiment::run_workload;
 use bard::report::Table;
-use bard_bench::harness::{print_header, Cli};
+use bard_bench::harness::{mean_of, print_header, Cli};
 
 fn main() {
     let cli = Cli::parse();
@@ -13,25 +12,21 @@ fn main() {
         c.dram = c.dram.clone().ideal();
         c
     };
+    let mut grid = cli.run_grid(&[cli.config.clone(), ideal_cfg]);
+    let ideal = grid.pop().expect("ideal results");
+    let base = grid.pop().expect("baseline results");
     let mut table = Table::new(vec!["workload", "baseline W%", "ideal W%"]);
-    let mut base_sum = 0.0;
-    let mut ideal_sum = 0.0;
-    for &w in &cli.workloads {
-        let base = run_workload(&cli.config, w, cli.length);
-        let ideal = run_workload(&ideal_cfg, w, cli.length);
-        base_sum += base.write_time_fraction();
-        ideal_sum += ideal.write_time_fraction();
+    for (b, i) in base.iter().zip(&ideal) {
         table.push_row(vec![
-            w.name().to_string(),
-            format!("{:.1}", base.write_time_fraction() * 100.0),
-            format!("{:.1}", ideal.write_time_fraction() * 100.0),
+            b.workload.name().to_string(),
+            format!("{:.1}", b.write_time_fraction() * 100.0),
+            format!("{:.1}", i.write_time_fraction() * 100.0),
         ]);
     }
-    let n = cli.workloads.len() as f64;
     table.push_row(vec![
         "mean".to_string(),
-        format!("{:.1}", base_sum / n * 100.0),
-        format!("{:.1}", ideal_sum / n * 100.0),
+        format!("{:.1}", mean_of(&base, bard::RunResult::write_time_fraction) * 100.0),
+        format!("{:.1}", mean_of(&ideal, bard::RunResult::write_time_fraction) * 100.0),
     ]);
     println!("{}", table.render());
     println!("Paper reference: baseline mean 33.0%, ideal mean 24.1%.");

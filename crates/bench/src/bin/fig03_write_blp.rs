@@ -1,23 +1,20 @@
 //! Figure 3: write bank-level parallelism (unique banks written per drain
 //! episode) for the baseline system.
 
-use bard::experiment::run_workload;
 use bard::report::Table;
-use bard_bench::harness::{print_header, Cli};
+use bard_bench::harness::{mean_of, print_header, Cli};
 
 fn main() {
     let cli = Cli::parse();
     print_header("Figure 3", "Baseline write bank-level parallelism", &cli);
+    let base = cli.run(&cli.config);
     let mut table = Table::new(vec!["workload", "write BLP (of 32)"]);
-    let mut sum = 0.0;
-    for &w in &cli.workloads {
-        let base = run_workload(&cli.config, w, cli.length);
-        sum += base.write_blp();
-        table.push_row(vec![w.name().to_string(), format!("{:.1}", base.write_blp())]);
+    for r in &base {
+        table.push_row(vec![r.workload.name().to_string(), format!("{:.1}", r.write_blp())]);
     }
     table.push_row(vec![
         "mean".to_string(),
-        format!("{:.1}", sum / cli.workloads.len() as f64),
+        format!("{:.1}", mean_of(&base, bard::RunResult::write_blp)),
     ]);
     println!("{}", table.render());
     println!("Paper reference: mean write BLP of 22.1 out of 32 banks.");

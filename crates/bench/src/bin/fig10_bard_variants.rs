@@ -1,9 +1,8 @@
 //! Figure 10: speedups of BARD-E, BARD-C and BARD-H over the baseline (top)
 //! and the breakdown of BARD-H's eviction decisions (bottom).
 
-use bard::experiment::run_workload;
 use bard::report::Table;
-use bard::{speedup_percent, WritePolicyKind};
+use bard::WritePolicyKind;
 use bard_bench::harness::{print_header, Cli};
 
 fn main() {
@@ -11,37 +10,35 @@ fn main() {
     print_header("Figure 10", "BARD-E / BARD-C / BARD-H speedups and decision breakdown", &cli);
 
     let policies = [WritePolicyKind::BardE, WritePolicyKind::BardC, WritePolicyKind::BardH];
+    let variants: Vec<_> = policies.iter().map(|&p| cli.config.clone().with_policy(p)).collect();
+    // One parallel grid: the baseline is simulated once, not once per policy.
+    let comparisons = cli.compare(&cli.config, &variants);
+
     let mut table = Table::new(vec![
-        "workload", "BARD-E %", "BARD-C %", "BARD-H %", "LRU evict %", "override %", "cleanse %",
+        "workload",
+        "BARD-E %",
+        "BARD-C %",
+        "BARD-H %",
+        "LRU evict %",
+        "override %",
+        "cleanse %",
     ]);
-    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for &w in &cli.workloads {
-        let base = run_workload(&cli.config, w, cli.length);
+    let speedups: Vec<_> = comparisons.iter().map(bard::Comparison::speedups_percent).collect();
+    let bard_h = &comparisons[2];
+    for (wi, &w) in cli.workloads.iter().enumerate() {
         let mut row = vec![w.name().to_string()];
-        let mut bard_h_stats = None;
-        for (pi, policy) in policies.iter().enumerate() {
-            let cfg = cli.config.clone().with_policy(*policy);
-            let result = run_workload(&cfg, w, cli.length);
-            let speedup = speedup_percent(&result, &base);
-            per_policy[pi].push(speedup);
-            row.push(format!("{speedup:+.2}"));
-            if *policy == WritePolicyKind::BardH {
-                bard_h_stats = Some(result.policy_stats);
-            }
+        for per_policy in &speedups {
+            row.push(format!("{:+.2}", per_policy[wi].1));
         }
-        let p = bard_h_stats.expect("BARD-H simulated");
+        let p = &bard_h.test[wi].policy_stats;
         row.push(format!("{:.1}", p.plain_fraction() * 100.0));
         row.push(format!("{:.1}", p.override_fraction() * 100.0));
         row.push(format!("{:.1}", p.cleanse_fraction() * 100.0));
         table.push_row(row);
     }
     println!("{}", table.render());
-    for (pi, policy) in policies.iter().enumerate() {
-        println!(
-            "gmean speedup {}: {:+.2}%",
-            policy.label(),
-            bard::geomean_speedup_percent(&per_policy[pi])
-        );
+    for (policy, cmp) in policies.iter().zip(&comparisons) {
+        println!("gmean speedup {}: {:+.2}%", policy.label(), cmp.gmean_speedup_percent());
     }
     println!("Paper reference: 4.1% (BARD-E), 3.3% (BARD-C), 4.3% (BARD-H); decisions split");
     println!("64.7% plain LRU evictions / 4.8% overrides / 30.5% cleanses.");

@@ -1,9 +1,8 @@
 //! Figure 11: BARD-H compared against the prior proactive-writeback schemes —
 //! Eager Writeback (EW) and the Virtual Write Queue (VWQ).
 
-use bard::experiment::run_workload;
 use bard::report::Table;
-use bard::{geomean_speedup_percent, speedup_percent, WritePolicyKind};
+use bard::WritePolicyKind;
 use bard_bench::harness::{print_header, Cli};
 
 fn main() {
@@ -14,23 +13,21 @@ fn main() {
         WritePolicyKind::EagerWriteback,
         WritePolicyKind::VirtualWriteQueue,
     ];
+    let variants: Vec<_> = policies.iter().map(|&p| cli.config.clone().with_policy(p)).collect();
+    let comparisons = cli.compare(&cli.config, &variants);
+
     let mut table = Table::new(vec!["workload", "BARD %", "EW %", "VWQ %"]);
-    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
-    for &w in &cli.workloads {
-        let base = run_workload(&cli.config, w, cli.length);
+    let speedups: Vec<_> = comparisons.iter().map(bard::Comparison::speedups_percent).collect();
+    for (wi, &w) in cli.workloads.iter().enumerate() {
         let mut row = vec![w.name().to_string()];
-        for (pi, policy) in policies.iter().enumerate() {
-            let cfg = cli.config.clone().with_policy(*policy);
-            let result = run_workload(&cfg, w, cli.length);
-            let speedup = speedup_percent(&result, &base);
-            per_policy[pi].push(speedup);
-            row.push(format!("{speedup:+.2}"));
+        for per_policy in &speedups {
+            row.push(format!("{:+.2}", per_policy[wi].1));
         }
         table.push_row(row);
     }
     println!("{}", table.render());
-    for (pi, policy) in policies.iter().enumerate() {
-        println!("gmean speedup {}: {:+.2}%", policy.label(), geomean_speedup_percent(&per_policy[pi]));
+    for (policy, cmp) in policies.iter().zip(&comparisons) {
+        println!("gmean speedup {}: {:+.2}%", policy.label(), cmp.gmean_speedup_percent());
     }
     println!("Paper reference: BARD +4.3%, EW -0.5%, VWQ -0.3%.");
 }

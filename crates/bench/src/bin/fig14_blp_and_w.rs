@@ -1,10 +1,9 @@
 //! Figure 14: write bank-level parallelism (top) and time spent writing
 //! (bottom) for the baseline, BARD, and the idealised write system.
 
-use bard::experiment::run_workload;
 use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
+use bard::{RunResult, WritePolicyKind};
+use bard_bench::harness::{mean_of, print_header, Cli};
 
 fn main() {
     let cli = Cli::parse();
@@ -15,36 +14,29 @@ fn main() {
         c.dram = c.dram.clone().ideal();
         c
     };
-    let mut table = Table::new(vec![
-        "workload", "BLP base", "BLP BARD", "W% base", "W% BARD", "W% ideal",
-    ]);
-    let (mut blp_b, mut blp_x, mut w_b, mut w_x, mut w_i) = (0.0, 0.0, 0.0, 0.0, 0.0);
-    for &w in &cli.workloads {
-        let base = run_workload(&cli.config, w, cli.length);
-        let bard = run_workload(&bard_cfg, w, cli.length);
-        let ideal = run_workload(&ideal_cfg, w, cli.length);
-        blp_b += base.write_blp();
-        blp_x += bard.write_blp();
-        w_b += base.write_time_fraction();
-        w_x += bard.write_time_fraction();
-        w_i += ideal.write_time_fraction();
+    let mut grid = cli.run_grid(&[cli.config.clone(), bard_cfg, ideal_cfg]);
+    let ideal = grid.pop().expect("ideal results");
+    let bard = grid.pop().expect("bard results");
+    let base = grid.pop().expect("baseline results");
+    let mut table =
+        Table::new(vec!["workload", "BLP base", "BLP BARD", "W% base", "W% BARD", "W% ideal"]);
+    for ((b, x), i) in base.iter().zip(&bard).zip(&ideal) {
         table.push_row(vec![
-            w.name().to_string(),
-            format!("{:.1}", base.write_blp()),
-            format!("{:.1}", bard.write_blp()),
-            format!("{:.1}", base.write_time_fraction() * 100.0),
-            format!("{:.1}", bard.write_time_fraction() * 100.0),
-            format!("{:.1}", ideal.write_time_fraction() * 100.0),
+            b.workload.name().to_string(),
+            format!("{:.1}", b.write_blp()),
+            format!("{:.1}", x.write_blp()),
+            format!("{:.1}", b.write_time_fraction() * 100.0),
+            format!("{:.1}", x.write_time_fraction() * 100.0),
+            format!("{:.1}", i.write_time_fraction() * 100.0),
         ]);
     }
-    let n = cli.workloads.len() as f64;
     table.push_row(vec![
         "mean".to_string(),
-        format!("{:.1}", blp_b / n),
-        format!("{:.1}", blp_x / n),
-        format!("{:.1}", w_b / n * 100.0),
-        format!("{:.1}", w_x / n * 100.0),
-        format!("{:.1}", w_i / n * 100.0),
+        format!("{:.1}", mean_of(&base, RunResult::write_blp)),
+        format!("{:.1}", mean_of(&bard, RunResult::write_blp)),
+        format!("{:.1}", mean_of(&base, RunResult::write_time_fraction) * 100.0),
+        format!("{:.1}", mean_of(&bard, RunResult::write_time_fraction) * 100.0),
+        format!("{:.1}", mean_of(&ideal, RunResult::write_time_fraction) * 100.0),
     ]);
     println!("{}", table.render());
     println!("Paper reference: BLP 22.1 -> 28.8; W% 33.0 -> 29.3 (ideal 24.1).");

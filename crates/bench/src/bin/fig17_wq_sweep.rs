@@ -1,33 +1,37 @@
 //! Figure 17: speedup of the baseline and BARD for write-queue capacities of
 //! 32, 48, 64, 96 and 128 entries, normalised to the 48-entry baseline.
 
-use bard::experiment::run_workload;
 use bard::report::Table;
-use bard::{geomean_speedup_percent, speedup_percent, WritePolicyKind};
+use bard::WritePolicyKind;
 use bard_bench::harness::{print_header, Cli};
 
 fn main() {
     let cli = Cli::parse();
     print_header("Figure 17", "Write-queue capacity sweep", &cli);
-    // Reference: 48-entry baseline.
-    let reference: Vec<_> = cli
-        .workloads
+    let entries_sweep = [32usize, 48, 64, 96, 128];
+    let policies = [WritePolicyKind::Baseline, WritePolicyKind::BardH];
+    // The 48-entry baseline is the normalisation reference; it is simulated
+    // once, and every (capacity x policy) variant joins it in one parallel
+    // grid.
+    let variants: Vec<_> = entries_sweep
         .iter()
-        .map(|&w| run_workload(&cli.config, w, cli.length))
+        .flat_map(|&entries| {
+            policies.map(|policy| {
+                let mut cfg = cli.config.clone().with_policy(policy);
+                cfg.dram = cfg.dram.clone().with_write_queue_entries(entries);
+                cfg
+            })
+        })
         .collect();
+    let comparisons = cli.compare(&cli.config, &variants);
     let mut table = Table::new(vec!["WQ entries", "baseline gmean (%)", "BARD gmean (%)"]);
-    for entries in [32usize, 48, 64, 96, 128] {
+    for (i, entries) in entries_sweep.iter().enumerate() {
         let mut row = vec![entries.to_string()];
-        for policy in [WritePolicyKind::Baseline, WritePolicyKind::BardH] {
-            let mut cfg = cli.config.clone().with_policy(policy);
-            cfg.dram = cfg.dram.clone().with_write_queue_entries(entries);
-            let speedups: Vec<f64> = cli
-                .workloads
-                .iter()
-                .zip(&reference)
-                .map(|(&w, base)| speedup_percent(&run_workload(&cfg, w, cli.length), base))
-                .collect();
-            row.push(format!("{:+.1}", geomean_speedup_percent(&speedups)));
+        for pi in 0..policies.len() {
+            row.push(format!(
+                "{:+.1}",
+                comparisons[i * policies.len() + pi].gmean_speedup_percent()
+            ));
         }
         table.push_row(row);
     }

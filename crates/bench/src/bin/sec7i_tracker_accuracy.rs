@@ -2,7 +2,6 @@
 //! that actually has a pending write in one of the memory controller's write
 //! queues.
 
-use bard::experiment::run_workload;
 use bard::report::Table;
 use bard::WritePolicyKind;
 use bard_bench::harness::{print_header, Cli};
@@ -11,14 +10,14 @@ fn main() {
     let cli = Cli::parse();
     print_header("Section VII-I", "BLP-Tracker decision accuracy", &cli);
     let bard_cfg = cli.config.clone().with_policy(WritePolicyKind::BardH);
+    let results = cli.run(&bard_cfg);
     let mut table = Table::new(vec!["workload", "decisions", "incorrect (%)"]);
     let mut fractions = Vec::new();
-    for &w in &cli.workloads {
-        let r = run_workload(&bard_cfg, w, cli.length);
-        let p = r.policy_stats;
+    for r in &results {
+        let p = &r.policy_stats;
         fractions.push(p.incorrect_decision_fraction());
         table.push_row(vec![
-            w.name().to_string(),
+            r.workload.name().to_string(),
             p.checked_decisions.to_string(),
             format!("{:.1}", p.incorrect_decision_fraction() * 100.0),
         ]);

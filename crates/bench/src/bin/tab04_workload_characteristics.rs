@@ -2,7 +2,6 @@
 //! instruction (MPKI), write-backs per kilo instruction (WPKI), write
 //! bank-level parallelism (WBLP) and time spent writing (W%).
 
-use bard::experiment::run_workload;
 use bard::report::{characterisation_row, Table};
 use bard_bench::harness::{print_header, Cli};
 
@@ -10,8 +9,7 @@ fn main() {
     let cli = Cli::parse();
     print_header("Table IV", "Workload characteristics (baseline)", &cli);
     let mut table = Table::new(vec!["workload", "MPKI", "WPKI", "WBLP", "W%"]);
-    for &w in &cli.workloads {
-        let result = run_workload(&cli.config, w, cli.length);
+    for result in cli.run(&cli.config) {
         table.push_row(characterisation_row(&result));
     }
     println!("{}", table.render());

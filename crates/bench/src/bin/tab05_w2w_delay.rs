@@ -1,10 +1,9 @@
 //! Table V: mean and maximum write-to-write delay for the baseline, BARD and
 //! the idealised write system.
 
-use bard::experiment::run_workload;
 use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
+use bard::{RunResult, WritePolicyKind};
+use bard_bench::harness::{mean_of, print_header, Cli};
 
 fn main() {
     let cli = Cli::parse();
@@ -15,19 +14,14 @@ fn main() {
         c.dram = c.dram.clone().ideal();
         c
     };
-    let configs = [("Baseline", &cli.config), ("BARD", &bard_cfg), ("Ideal", &ideal_cfg)];
+    let names = ["Baseline", "BARD", "Ideal"];
+    let grid = cli.run_grid(&[cli.config.clone(), bard_cfg, ideal_cfg]);
     let mut table = Table::new(vec!["Design", "Average Latency (ns)", "Max Latency (ns)"]);
-    for (name, cfg) in configs {
-        let mut sum = 0.0;
-        let mut max: f64 = 0.0;
-        for &w in &cli.workloads {
-            let r = run_workload(cfg, w, cli.length);
-            sum += r.mean_write_to_write_ns();
-            max = max.max(r.mean_write_to_write_ns());
-        }
+    for (name, results) in names.iter().zip(&grid) {
+        let max = results.iter().map(RunResult::mean_write_to_write_ns).fold(0.0f64, f64::max);
         table.push_row(vec![
-            name.to_string(),
-            format!("{:.1}", sum / cli.workloads.len() as f64),
+            (*name).to_string(),
+            format!("{:.1}", mean_of(results, RunResult::mean_write_to_write_ns)),
             format!("{max:.1}"),
         ]);
     }

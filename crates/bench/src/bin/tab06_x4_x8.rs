@@ -1,9 +1,9 @@
 //! Table VI: relative performance of the baseline, BARD and the ideal write
 //! system on x4 and x8 DDR5 devices, normalised to the x4 baseline.
 
-use bard::experiment::run_workload;
+use bard::experiment::Comparison;
 use bard::report::Table;
-use bard::{geomean_speedup_percent, speedup_percent, WritePolicyKind};
+use bard::WritePolicyKind;
 use bard_bench::harness::{print_header, Cli};
 use bard_dram::DramConfig;
 
@@ -23,24 +23,19 @@ fn main() {
         ("BARD x8", make(DramConfig::ddr5_4800_x8(), WritePolicyKind::BardH, false)),
         ("Ideal x8", make(DramConfig::ddr5_4800_x8(), WritePolicyKind::Baseline, true)),
     ];
-    // Baseline x4 runs are the normalisation reference.
-    let reference: Vec<_> = cli
-        .workloads
-        .iter()
-        .map(|&w| run_workload(&systems[0].1, w, cli.length))
-        .collect();
+    // The Baseline x4 runs are the normalisation reference; the entire
+    // 6-system grid (reference simulated once) runs in parallel.
+    let variants: Vec<_> = systems.iter().map(|(_, cfg)| cfg.clone()).collect();
+    let comparisons = Comparison::run_many_on(
+        &cli.runner(),
+        &systems[0].1,
+        &variants,
+        &cli.workloads,
+        cli.length,
+    );
     let mut table = Table::new(vec!["System", "gmean speedup vs x4 baseline (%)"]);
-    for (name, cfg) in &systems {
-        let speedups: Vec<f64> = cli
-            .workloads
-            .iter()
-            .zip(&reference)
-            .map(|(&w, base)| {
-                let r = run_workload(cfg, w, cli.length);
-                speedup_percent(&r, base)
-            })
-            .collect();
-        table.push_row(vec![name.to_string(), format!("{:+.1}", geomean_speedup_percent(&speedups))]);
+    for ((name, _), cmp) in systems.iter().zip(&comparisons) {
+        table.push_row(vec![(*name).to_string(), format!("{:+.1}", cmp.gmean_speedup_percent())]);
     }
     println!("{}", table.render());
     println!("Paper reference (x4/x8): baseline 0.0%/2.1%, BARD 4.3%/7.1%, ideal 14.5%/14.5%.");

@@ -10,12 +10,12 @@ fn main() {
     let cli = Cli::parse();
     print_header("Table VII", "BARD speedup on 8- and 16-core systems", &cli);
     let mut table = Table::new(vec!["Core Count", "Gmean (%)", "Max (%)"]);
-    for (label, base_cfg) in [
-        ("8", SystemConfig::baseline_8core()),
-        ("16", SystemConfig::baseline_16core()),
-    ] {
+    for (label, base_cfg) in
+        [("8", SystemConfig::baseline_8core()), ("16", SystemConfig::baseline_16core())]
+    {
         let bard_cfg = base_cfg.clone().with_policy(WritePolicyKind::BardH);
-        let cmp = Comparison::run(&base_cfg, &bard_cfg, &cli.workloads, cli.length);
+        let cmp =
+            Comparison::run_on(&cli.runner(), &base_cfg, &bard_cfg, &cli.workloads, cli.length);
         table.push_row(vec![
             label.to_string(),
             format!("{:.1}", cmp.gmean_speedup_percent()),

@@ -2,7 +2,6 @@
 //! synchronisation broadcasts, extrapolated to a 128-core / 8-channel server
 //! the way Section VII-H does (16x the 8-core system's write traffic).
 
-use bard::experiment::run_workload;
 use bard::report::Table;
 use bard::WritePolicyKind;
 use bard_bench::harness::{print_header, Cli};
@@ -13,8 +12,7 @@ fn main() {
     print_header("Table VIII", "BARD bandwidth overheads (128-core extrapolation)", &cli);
     let bard_cfg = cli.config.clone().with_policy(WritePolicyKind::BardH);
     let mut wb_rates = Vec::new();
-    for &w in &cli.workloads {
-        let r = run_workload(&bard_cfg, w, cli.length);
+    for r in cli.run(&bard_cfg) {
         let seconds = cpu_cycles_to_ns(r.total_cycles) * 1e-9;
         if seconds > 0.0 {
             // Write-backs per second in the simulated 8-core system, scaled by

@@ -1,4 +1,5 @@
-//! Shared command-line handling for the per-figure experiment binaries.
+//! Shared command-line handling and grid-driving helpers for the per-figure
+//! experiment binaries.
 //!
 //! Every binary accepts the same flags:
 //!
@@ -6,10 +7,18 @@
 //! * `--workloads=a,b,c`: simulate only the named workloads,
 //! * `--singles` / `--mixes`: restrict to single workloads or mixes,
 //! * `--cores=N`: override the core count (scales the run to `small` sizes
-//!   when N <= 2, useful for smoke-testing a binary).
+//!   when N <= 2, useful for smoke-testing a binary),
+//! * `--jobs=N`: simulation worker threads (default: `BARD_JOBS` or all
+//!   host cores; `--jobs=1` forces the serial path).
+//!
+//! The driving helpers ([`Cli::run`], [`Cli::run_grid`], [`Cli::compare`])
+//! execute the whole `(configs x workloads)` grid on the
+//! [`Runner`](bard::runner::Runner) so binaries never hand-roll serial
+//! simulation loops.
 
-use bard::experiment::RunLength;
-use bard::SystemConfig;
+use bard::experiment::{run_workloads_on, Comparison, RunLength};
+use bard::runner::{Job, Runner};
+use bard::{RunResult, SystemConfig};
 use bard_workloads::WorkloadId;
 
 /// Parsed command-line options shared by all experiment binaries.
@@ -21,6 +30,8 @@ pub struct Cli {
     pub workloads: Vec<WorkloadId>,
     /// Baseline system configuration.
     pub config: SystemConfig,
+    /// Simulation worker threads (`0` = auto).
+    pub jobs: usize,
 }
 
 impl Cli {
@@ -44,6 +55,7 @@ impl Cli {
         let mut length = RunLength::quick();
         let mut workloads = WorkloadId::all();
         let mut config = SystemConfig::baseline_8core();
+        let mut jobs = 0;
         for arg in args {
             if arg == "--test" {
                 length = RunLength::test();
@@ -67,6 +79,8 @@ impl Cli {
             } else if let Some(cores) = arg.strip_prefix("--cores=") {
                 let cores: usize = cores.parse().expect("--cores=N needs a number");
                 config.cores = cores;
+            } else if let Some(n) = arg.strip_prefix("--jobs=") {
+                jobs = n.parse().expect("--jobs=N needs a number");
             } else if arg == "--help" || arg == "-h" {
                 print_usage();
                 std::process::exit(0);
@@ -75,14 +89,47 @@ impl Cli {
                 panic!("unknown argument '{arg}'");
             }
         }
-        Self { length, workloads, config }
+        Self { length, workloads, config, jobs }
+    }
+
+    /// The runner configured by `--jobs` (auto-sized when the flag is
+    /// absent).
+    #[must_use]
+    pub fn runner(&self) -> Runner {
+        Runner::new(self.jobs)
+    }
+
+    /// Runs one configuration over the CLI workload set, in parallel.
+    #[must_use]
+    pub fn run(&self, config: &SystemConfig) -> Vec<RunResult> {
+        run_workloads_on(&self.runner(), config, &self.workloads, self.length)
+    }
+
+    /// Runs several configurations over the CLI workload set as **one**
+    /// parallel grid and returns the results grouped per configuration
+    /// (aligned with `self.workloads`).
+    #[must_use]
+    pub fn run_grid(&self, configs: &[SystemConfig]) -> Vec<Vec<RunResult>> {
+        let mut flat = self.runner().run_grid(Job::grid(configs, &self.workloads, self.length));
+        let mut grouped = Vec::with_capacity(configs.len());
+        for _ in configs {
+            grouped.push(flat.drain(..self.workloads.len()).collect());
+        }
+        grouped
+    }
+
+    /// Compares each variant against `baseline` over the CLI workload set,
+    /// simulating the baseline once and the whole grid in parallel.
+    #[must_use]
+    pub fn compare(&self, baseline: &SystemConfig, variants: &[SystemConfig]) -> Vec<Comparison> {
+        Comparison::run_many_on(&self.runner(), baseline, variants, &self.workloads, self.length)
     }
 }
 
 fn print_usage() {
     eprintln!(
         "usage: <experiment> [--test|--quick|--standard] [--singles|--mixes] \
-         [--workloads=a,b,c] [--cores=N]"
+         [--workloads=a,b,c] [--cores=N] [--jobs=N]"
     );
 }
 
@@ -91,13 +138,23 @@ pub fn print_header(id: &str, title: &str, cli: &Cli) {
     println!("==============================================================");
     println!("{id}: {title}");
     println!(
-        "cores={} policy-baseline={} workloads={} measure={} instr/core",
+        "cores={} policy-baseline={} workloads={} measure={} instr/core jobs={}",
         cli.config.cores,
         cli.config.label(),
         cli.workloads.len(),
-        cli.length.measure
+        cli.length.measure,
+        cli.runner().threads(),
     );
     println!("==============================================================");
+}
+
+/// Mean of a metric over a slice of results (0 when empty).
+#[must_use]
+pub fn mean_of(results: &[RunResult], metric: impl Fn(&RunResult) -> f64) -> f64 {
+    if results.is_empty() {
+        return 0.0;
+    }
+    results.iter().map(metric).sum::<f64>() / results.len() as f64
 }
 
 #[cfg(test)]
@@ -109,13 +166,14 @@ mod tests {
         let cli = Cli::from_args(std::iter::empty());
         assert_eq!(cli.workloads.len(), 29);
         assert_eq!(cli.config.cores, 8);
+        assert_eq!(cli.jobs, 0);
+        assert!(cli.runner().threads() >= 1);
     }
 
     #[test]
     fn flags_are_parsed() {
-        let cli = Cli::from_args(
-            ["--test".to_string(), "--workloads=lbm,copy".to_string()].into_iter(),
-        );
+        let cli =
+            Cli::from_args(["--test".to_string(), "--workloads=lbm,copy".to_string()].into_iter());
         assert_eq!(cli.workloads, vec![WorkloadId::Lbm, WorkloadId::Copy]);
         assert_eq!(cli.length, RunLength::test());
         let cli = Cli::from_args(["--mixes".to_string()].into_iter());
@@ -123,8 +181,34 @@ mod tests {
     }
 
     #[test]
+    fn jobs_flag_sizes_the_runner() {
+        let cli = Cli::from_args(["--jobs=3".to_string()].into_iter());
+        assert_eq!(cli.jobs, 3);
+        assert_eq!(cli.runner().threads(), 3);
+        let cli = Cli::from_args(["--jobs=1".to_string()].into_iter());
+        assert_eq!(cli.runner().threads(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "unknown workload")]
     fn unknown_workload_panics() {
         let _ = Cli::from_args(["--workloads=bogus".to_string()].into_iter());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flag_panics() {
+        let _ = Cli::from_args(["--frobnicate".to_string()].into_iter());
+    }
+
+    #[test]
+    #[should_panic(expected = "--jobs=N needs a number")]
+    fn malformed_jobs_flag_panics() {
+        let _ = Cli::from_args(["--jobs=lots".to_string()].into_iter());
+    }
+
+    #[test]
+    fn mean_of_handles_empty_slices() {
+        assert_eq!(mean_of(&[], |_| 1.0), 0.0);
     }
 }

@@ -27,13 +27,7 @@ impl CacheLine {
     /// A valid line for `addr`.
     #[must_use]
     pub fn filled(addr: u64, dirty: bool, signature: u16) -> Self {
-        Self {
-            addr,
-            valid: true,
-            dirty,
-            prefetched: false,
-            signature,
-        }
+        Self { addr, valid: true, dirty, prefetched: false, signature }
     }
 }
 

@@ -149,9 +149,7 @@ impl SetAssocCache {
     pub fn probe(&self, addr: u64) -> Option<usize> {
         let set = self.set_of(addr);
         let line_addr = self.line_addr(addr);
-        self.lines_in_set(set)
-            .iter()
-            .position(|l| l.valid && l.addr == line_addr)
+        self.lines_in_set(set).iter().position(|l| l.valid && l.addr == line_addr)
     }
 
     /// Demand access: on a hit, recency state is updated, the dirty bit is set

@@ -45,12 +45,7 @@ impl MshrFile {
     /// Creates a file with `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self {
-            capacity,
-            entries: HashMap::with_capacity(capacity),
-            peak_occupancy: 0,
-            merges: 0,
-        }
+        Self { capacity, entries: HashMap::with_capacity(capacity), peak_occupancy: 0, merges: 0 }
     }
 
     /// Capacity of the file.
@@ -140,9 +135,7 @@ impl MshrFile {
     /// fill should be installed dirty, and whether the entry stayed
     /// prefetch-only. Returns `None` if no such miss is outstanding.
     pub fn complete(&mut self, line_addr: u64) -> Option<(Vec<u64>, bool, bool)> {
-        self.entries
-            .remove(&line_addr)
-            .map(|e| (e.waiters, e.write_requested, e.prefetch_only))
+        self.entries.remove(&line_addr).map(|e| (e.waiters, e.write_requested, e.prefetch_only))
     }
 }
 

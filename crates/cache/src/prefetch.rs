@@ -79,12 +79,7 @@ impl Prefetcher for IpStridePrefetcher {
         let degree = self.degree;
         let entry = &mut self.entries[idx];
         if entry.ip_tag != ip {
-            *entry = StrideEntry {
-                ip_tag: ip,
-                last_addr: addr,
-                stride: 0,
-                confidence: 0,
-            };
+            *entry = StrideEntry { ip_tag: ip, last_addr: addr, stride: 0, confidence: 0 };
             return;
         }
         let stride = addr as i64 - entry.last_addr as i64;

@@ -75,11 +75,7 @@ impl Lru {
     /// Creates an LRU policy for `sets` x `ways`.
     #[must_use]
     pub fn new(sets: usize, ways: usize) -> Self {
-        Self {
-            ways,
-            stamp: 0,
-            last_use: vec![0; sets * ways],
-        }
+        Self { ways, stamp: 0, last_use: vec![0; sets * ways] }
     }
 
     fn idx(&self, set: usize, way: usize) -> usize {
@@ -106,9 +102,7 @@ impl ReplacementPolicy for Lru {
 
     fn victim(&mut self, set: usize) -> usize {
         let base = set * self.ways;
-        (0..self.ways)
-            .min_by_key(|w| self.last_use[base + w])
-            .expect("ways > 0")
+        (0..self.ways).min_by_key(|w| self.last_use[base + w]).expect("ways > 0")
     }
 
     fn eviction_order(&self, set: usize, out: &mut Vec<usize>) {
@@ -139,10 +133,7 @@ impl Srrip {
     /// Creates an SRRIP policy for `sets` x `ways`.
     #[must_use]
     pub fn new(sets: usize, ways: usize) -> Self {
-        Self {
-            ways,
-            rrpv: vec![RRPV_MAX; sets * ways],
-        }
+        Self { ways, rrpv: vec![RRPV_MAX; sets * ways] }
     }
 
     fn idx(&self, set: usize, way: usize) -> usize {
@@ -353,8 +344,11 @@ mod tests {
         p.on_insert(0, 2, 7); // live signature
         let mut order = Vec::new();
         p.eviction_order(0, &mut order);
-        assert_eq!(order[0], 0.max(0), "ways with RRPV_MAX lead the order");
-        assert!(order.iter().position(|&w| w == 1).unwrap() < order.iter().position(|&w| w == 2).unwrap());
+        assert_eq!(order[0], 0, "ways with RRPV_MAX lead the order");
+        assert!(
+            order.iter().position(|&w| w == 1).unwrap()
+                < order.iter().position(|&w| w == 2).unwrap()
+        );
     }
 
     #[test]

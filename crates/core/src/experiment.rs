@@ -1,10 +1,16 @@
 //! Experiment drivers: run workloads under one or more configurations and
 //! compare them, the way the paper's evaluation scripts do.
+//!
+//! All multi-run entry points fan out over the [`Runner`](crate::runner)
+//! subsystem, so a `(configs x workloads)` evaluation grid saturates the host
+//! instead of a single core. Results are deterministic regardless of the
+//! worker count — see [`Runner::run_grid`](crate::runner::Runner::run_grid).
 
 use bard_workloads::WorkloadId;
 
 use crate::config::SystemConfig;
 use crate::metrics::{geomean_speedup_percent, speedup_percent, RunResult};
+use crate::runner::{Job, Runner};
 use crate::system::System;
 
 /// How long to warm up and measure, in instructions per core.
@@ -55,17 +61,26 @@ pub fn run_workload(config: &SystemConfig, workload: WorkloadId, length: RunLeng
     system.run(length.functional_warmup, length.timed_warmup, length.measure)
 }
 
-/// Runs a set of workloads under one configuration.
+/// Runs a set of workloads under one configuration, in parallel on the
+/// default [`Runner`].
 #[must_use]
 pub fn run_workloads(
     config: &SystemConfig,
     workloads: &[WorkloadId],
     length: RunLength,
 ) -> Vec<RunResult> {
-    workloads
-        .iter()
-        .map(|w| run_workload(config, *w, length))
-        .collect()
+    run_workloads_on(&Runner::default(), config, workloads, length)
+}
+
+/// Runs a set of workloads under one configuration on an explicit runner.
+#[must_use]
+pub fn run_workloads_on(
+    runner: &Runner,
+    config: &SystemConfig,
+    workloads: &[WorkloadId],
+    length: RunLength,
+) -> Vec<RunResult> {
+    runner.run_grid(Job::grid(std::slice::from_ref(config), workloads, length))
 }
 
 /// The per-workload comparison of one test configuration against a baseline.
@@ -80,7 +95,8 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Runs `workloads` under both configurations.
+    /// Runs `workloads` under both configurations as one parallel grid on
+    /// the default [`Runner`].
     #[must_use]
     pub fn run(
         baseline_config: &SystemConfig,
@@ -88,11 +104,63 @@ impl Comparison {
         workloads: &[WorkloadId],
         length: RunLength,
     ) -> Self {
-        Self {
-            label: test_config.label(),
-            baseline: run_workloads(baseline_config, workloads, length),
-            test: run_workloads(test_config, workloads, length),
-        }
+        Self::run_on(&Runner::default(), baseline_config, test_config, workloads, length)
+    }
+
+    /// Runs `workloads` under both configurations on an explicit runner.
+    #[must_use]
+    pub fn run_on(
+        runner: &Runner,
+        baseline_config: &SystemConfig,
+        test_config: &SystemConfig,
+        workloads: &[WorkloadId],
+        length: RunLength,
+    ) -> Self {
+        let mut comparisons = Self::run_many_on(
+            runner,
+            baseline_config,
+            std::slice::from_ref(test_config),
+            workloads,
+            length,
+        );
+        comparisons.pop().expect("one test config yields one comparison")
+    }
+
+    /// Compares several test configurations against one baseline, simulating
+    /// the baseline **once** per workload (not once per test configuration)
+    /// and executing the whole `(1 + N) x workloads` grid in parallel on the
+    /// default [`Runner`].
+    #[must_use]
+    pub fn run_many(
+        baseline_config: &SystemConfig,
+        test_configs: &[SystemConfig],
+        workloads: &[WorkloadId],
+        length: RunLength,
+    ) -> Vec<Self> {
+        Self::run_many_on(&Runner::default(), baseline_config, test_configs, workloads, length)
+    }
+
+    /// [`Comparison::run_many`] on an explicit runner.
+    #[must_use]
+    pub fn run_many_on(
+        runner: &Runner,
+        baseline_config: &SystemConfig,
+        test_configs: &[SystemConfig],
+        workloads: &[WorkloadId],
+        length: RunLength,
+    ) -> Vec<Self> {
+        let mut configs = Vec::with_capacity(1 + test_configs.len());
+        configs.push(baseline_config.clone());
+        configs.extend_from_slice(test_configs);
+        let mut results = runner.run_grid(Job::grid(&configs, workloads, length));
+        let baseline: Vec<RunResult> = results.drain(..workloads.len()).collect();
+        test_configs
+            .iter()
+            .map(|config| {
+                let test: Vec<RunResult> = results.drain(..workloads.len()).collect();
+                Self::from_results(config.label(), baseline.clone(), test)
+            })
+            .collect()
     }
 
     /// Builds a comparison from pre-computed results (so several comparisons
@@ -103,7 +171,11 @@ impl Comparison {
     /// Panics if the two result vectors have different lengths or workload
     /// orderings.
     #[must_use]
-    pub fn from_results(label: impl Into<String>, baseline: Vec<RunResult>, test: Vec<RunResult>) -> Self {
+    pub fn from_results(
+        label: impl Into<String>,
+        baseline: Vec<RunResult>,
+        test: Vec<RunResult>,
+    ) -> Self {
         assert_eq!(baseline.len(), test.len(), "mismatched result counts");
         for (b, t) in baseline.iter().zip(&test) {
             assert_eq!(b.workload, t.workload, "mismatched workload ordering");
@@ -131,10 +203,7 @@ impl Comparison {
     /// Maximum per-workload speedup (per cent).
     #[must_use]
     pub fn max_speedup_percent(&self) -> f64 {
-        self.speedups_percent()
-            .iter()
-            .map(|(_, s)| *s)
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.speedups_percent().iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -166,6 +235,43 @@ mod tests {
         assert!(speedups[0].1.is_finite());
         assert!(cmp.gmean_speedup_percent().is_finite());
         assert!(cmp.max_speedup_percent().is_finite());
+    }
+
+    #[test]
+    fn run_many_shares_one_baseline() {
+        let base = SystemConfig::small_test();
+        let variants = [
+            base.clone().with_policy(WritePolicyKind::BardE),
+            base.clone().with_policy(WritePolicyKind::BardH),
+        ];
+        let cmps = Comparison::run_many(&base, &variants, &[WorkloadId::Copy], tiny());
+        assert_eq!(cmps.len(), 2);
+        assert_eq!(cmps[0].label, variants[0].label());
+        assert_eq!(cmps[1].label, variants[1].label());
+        // Both comparisons reference the same baseline simulation.
+        assert_eq!(cmps[0].baseline[0].total_cycles, cmps[1].baseline[0].total_cycles);
+        assert_eq!(cmps[0].baseline[0].per_core_ipc, cmps[1].baseline[0].per_core_ipc);
+    }
+
+    #[test]
+    fn run_on_serial_matches_default() {
+        let base = SystemConfig::small_test();
+        let test = base.clone().with_policy(WritePolicyKind::BardH);
+        let serial = Comparison::run_on(
+            &crate::runner::Runner::serial(),
+            &base,
+            &test,
+            &[WorkloadId::Lbm],
+            tiny(),
+        );
+        let parallel = Comparison::run_on(
+            &crate::runner::Runner::new(4),
+            &base,
+            &test,
+            &[WorkloadId::Lbm],
+            tiny(),
+        );
+        assert_eq!(serial.speedups_percent(), parallel.speedups_percent());
     }
 
     #[test]

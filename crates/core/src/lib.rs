@@ -12,7 +12,15 @@
 //!   cores, private L1D/L2, the sliced LLC, and one DDR5-4800 channel with
 //!   two sub-channels,
 //! * [`experiment`] / [`metrics`] / [`report`] — drivers and metrics for
-//!   regenerating every table and figure of the evaluation.
+//!   regenerating every table and figure of the evaluation,
+//! * [`runner`] — the parallel grid executor every multi-run driver fans out
+//!   on: a scoped `std::thread` pool that runs independent
+//!   `(configuration, workload)` simulations concurrently while returning
+//!   results in deterministic job order (see [`runner::Runner::run_grid`]).
+//!   The worker count comes from `--jobs=N` in the experiment binaries, the
+//!   `BARD_JOBS` environment variable, or the host's available parallelism,
+//!   and never changes a metric — a parallel grid is bitwise-identical to a
+//!   serial one.
 //!
 //! ## Quick start
 //!
@@ -54,6 +62,7 @@ pub mod llc;
 pub mod metrics;
 pub mod policy;
 pub mod report;
+pub mod runner;
 pub mod system;
 
 pub use blp_tracker::BlpTracker;
@@ -62,6 +71,7 @@ pub use experiment::{Comparison, RunLength};
 pub use llc::SlicedLlc;
 pub use metrics::{geomean, geomean_speedup_percent, speedup_percent, RunResult};
 pub use policy::{PolicyStats, WritePolicyKind};
+pub use runner::{Job, Runner};
 pub use system::System;
 
 // Re-export the substrate crates so downstream users need a single dependency.

@@ -56,7 +56,9 @@ impl SlicedLlc {
         assert_eq!(total_bytes % slice_count, 0, "capacity must divide evenly across slices");
         let slice_bytes = total_bytes / slice_count;
         let slices = (0..slice_count)
-            .map(|_| SetAssocCache::new(CacheConfig::new(slice_bytes, ways, line_bytes), replacement))
+            .map(|_| {
+                SetAssocCache::new(CacheConfig::new(slice_bytes, ways, line_bytes), replacement)
+            })
             .collect();
         Self {
             slices,
@@ -195,10 +197,7 @@ impl SlicedLlc {
 
     fn channel_and_bank(&self, addr: u64) -> (usize, usize) {
         let d = self.mapping.decode(addr);
-        (
-            d.channel,
-            d.bank_in_channel(self.banks_per_group, self.banks_per_subchannel),
-        )
+        (d.channel, d.bank_in_channel(self.banks_per_group, self.banks_per_subchannel))
     }
 
     /// Emits a write-back towards DRAM, updating the BLP-Tracker (the bank
@@ -216,11 +215,7 @@ impl SlicedLlc {
         !self.tracker.has_pending(channel, bank)
     }
 
-    fn record_decision_accuracy(
-        &mut self,
-        addr: u64,
-        wrq_has_bank: &mut dyn FnMut(u64) -> bool,
-    ) {
+    fn record_decision_accuracy(&mut self, addr: u64, wrq_has_bank: &mut dyn FnMut(u64) -> bool) {
         self.stats.checked_decisions += 1;
         if wrq_has_bank(addr) {
             self.stats.incorrect_decisions += 1;
@@ -240,10 +235,7 @@ impl SlicedLlc {
         let set = self.slices[slice].set_of(addr);
         // Fast path: a free way exists, no eviction decision to make.
         let ways = self.slices[slice].ways();
-        let has_invalid = self.slices[slice]
-            .lines_in_set(set)
-            .iter()
-            .any(|l| !l.valid);
+        let has_invalid = self.slices[slice].lines_in_set(set).iter().any(|l| !l.valid);
         if has_invalid {
             let way = self.slices[slice].victim_way(addr);
             self.slices[slice].fill_at(set, way, addr, dirty, signature);

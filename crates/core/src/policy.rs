@@ -175,12 +175,7 @@ mod tests {
 
     #[test]
     fn fractions_are_safe_and_sum_to_one() {
-        let s = PolicyStats {
-            evictions: 100,
-            overrides: 5,
-            cleanses: 30,
-            ..Default::default()
-        };
+        let s = PolicyStats { evictions: 100, overrides: 5, cleanses: 30, ..Default::default() };
         assert!((s.override_fraction() - 0.05).abs() < 1e-12);
         assert!((s.cleanse_fraction() - 0.30).abs() < 1e-12);
         assert!((s.plain_fraction() - 0.65).abs() < 1e-12);
@@ -189,11 +184,7 @@ mod tests {
 
     #[test]
     fn incorrect_fraction_uses_checked_decisions() {
-        let s = PolicyStats {
-            checked_decisions: 10,
-            incorrect_decisions: 3,
-            ..Default::default()
-        };
+        let s = PolicyStats { checked_decisions: 10, incorrect_decisions: 3, ..Default::default() };
         assert!((s.incorrect_decision_fraction() - 0.3).abs() < 1e-12);
     }
 

@@ -16,10 +16,7 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Self {
-            header: header.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     /// Appends a row. Rows shorter than the header are padded with blanks.

@@ -1,0 +1,282 @@
+//! Parallel execution of simulation grids.
+//!
+//! Every figure and table of the evaluation boils down to the same shape of
+//! work: simulate a grid of `(configuration, workload)` pairs and post-process
+//! the [`RunResult`]s. The simulations are completely independent — each owns
+//! its [`System`](crate::system::System) — so the grid is embarrassingly
+//! parallel. [`Runner`] fans the grid out over a scoped pool of `std::thread`
+//! workers pulling jobs from a shared atomic cursor (no work stealing, no
+//! external dependencies) while preserving the *exact* output ordering and
+//! values of a serial run: each job writes into its own pre-allocated slot,
+//! and every simulation is deterministic given its config and seed, so the
+//! thread count can never change a metric.
+//!
+//! The worker count is picked, in order, from:
+//!
+//! 1. an explicit [`Runner::new`] argument (the `--jobs=N` flag of the
+//!    experiment binaries ends up here),
+//! 2. the `BARD_JOBS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! ```no_run
+//! use bard::runner::{Job, Runner};
+//! use bard::{RunLength, SystemConfig, WritePolicyKind};
+//! use bard_workloads::WorkloadId;
+//!
+//! let base = SystemConfig::baseline_8core();
+//! let bard = base.clone().with_policy(WritePolicyKind::BardH);
+//! let jobs = Job::grid(&[base, bard], &[WorkloadId::Lbm, WorkloadId::Copy], RunLength::quick());
+//! let results = Runner::default().run_grid(jobs);
+//! assert_eq!(results.len(), 4); // config-major, workload-minor order
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use bard_workloads::WorkloadId;
+
+use crate::config::SystemConfig;
+use crate::experiment::RunLength;
+use crate::metrics::RunResult;
+use crate::system::System;
+
+/// One unit of grid work: a single workload simulated under a single
+/// configuration for a given run length.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// System configuration to simulate.
+    pub config: SystemConfig,
+    /// Workload to run.
+    pub workload: WorkloadId,
+    /// Warm-up and measurement lengths.
+    pub length: RunLength,
+}
+
+impl Job {
+    /// Creates one job.
+    #[must_use]
+    pub fn new(config: SystemConfig, workload: WorkloadId, length: RunLength) -> Self {
+        Self { config, workload, length }
+    }
+
+    /// Builds the full `configs x workloads` grid in config-major order:
+    /// all workloads of `configs[0]` first, then `configs[1]`, and so on.
+    #[must_use]
+    pub fn grid(
+        configs: &[SystemConfig],
+        workloads: &[WorkloadId],
+        length: RunLength,
+    ) -> Vec<Self> {
+        configs
+            .iter()
+            .flat_map(|config| {
+                workloads.iter().map(move |&workload| Self::new(config.clone(), workload, length))
+            })
+            .collect()
+    }
+
+    /// Runs the simulation for this job.
+    #[must_use]
+    pub fn run(&self) -> RunResult {
+        let mut system = System::new(self.config.clone(), self.workload);
+        system.run(self.length.functional_warmup, self.length.timed_warmup, self.length.measure)
+    }
+}
+
+/// A scoped-thread executor for simulation grids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// Creates a runner with an explicit worker count; `0` means "auto"
+    /// (`BARD_JOBS` if set, otherwise the host's available parallelism).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 { auto_threads() } else { threads };
+        Self { threads }
+    }
+
+    /// A runner that executes jobs one at a time on the calling thread.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The worker count this runner fans out to.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every job and returns the results in job order.
+    ///
+    /// The output is deterministic: result `i` always corresponds to
+    /// `jobs[i]`, and — because each simulation is self-contained and seeded
+    /// from its config — the metrics are bitwise-identical whatever the
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any job. The other workers stop claiming new
+    /// jobs as soon as one panics (each finishes only its in-flight job), so
+    /// a failing grid aborts promptly instead of draining the whole queue.
+    #[must_use]
+    pub fn run_grid(&self, jobs: Vec<Job>) -> Vec<RunResult> {
+        self.run_jobs(jobs, Job::run)
+    }
+
+    /// Runs an arbitrary set of independent work items in parallel,
+    /// preserving input ordering. `run_grid` is this with [`Job::run`];
+    /// non-grid-shaped experiments (sweeps over core counts, tracker sizes,
+    /// ...) can reuse the pool directly.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any work item.
+    #[must_use]
+    pub fn run_jobs<T, R, F>(&self, items: Vec<T>, work: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.iter().map(&work).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let items = &items;
+        let slots_ref = &slots;
+        let cursor_ref = &cursor;
+        let abort_ref = &abort;
+        let work_ref = &work;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    if abort_ref.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor_ref.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // If `work` panics the guard's Drop tells the other
+                    // workers to stop claiming jobs; the panic itself is
+                    // re-raised by `thread::scope` after all workers join.
+                    let mut guard = AbortOnPanic { flag: abort_ref, armed: true };
+                    let result = work_ref(&items[i]);
+                    guard.armed = false;
+                    drop(guard);
+                    *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every job index was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    /// Auto-sized runner: `BARD_JOBS` if set, else available parallelism.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Sets `flag` when dropped while still armed (i.e. during unwinding).
+struct AbortOnPanic<'a> {
+    flag: &'a AtomicBool,
+    armed: bool,
+}
+
+impl Drop for AbortOnPanic<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flag.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+fn auto_threads() -> usize {
+    if let Ok(var) = std::env::var("BARD_JOBS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::WritePolicyKind;
+
+    fn tiny() -> RunLength {
+        RunLength { functional_warmup: 100_000, timed_warmup: 1_000, measure: 5_000 }
+    }
+
+    #[test]
+    fn grid_is_config_major() {
+        let base = SystemConfig::small_test();
+        let bard = base.clone().with_policy(WritePolicyKind::BardH);
+        let jobs = Job::grid(&[base, bard], &[WorkloadId::Lbm, WorkloadId::Copy], tiny());
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].workload, WorkloadId::Lbm);
+        assert_eq!(jobs[1].workload, WorkloadId::Copy);
+        assert_eq!(jobs[0].config.write_policy, WritePolicyKind::Baseline);
+        assert_eq!(jobs[2].config.write_policy, WritePolicyKind::BardH);
+    }
+
+    #[test]
+    fn run_jobs_preserves_ordering() {
+        let runner = Runner::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let doubled = runner.run_jobs(items, |x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_runner_uses_one_thread() {
+        assert_eq!(Runner::serial().threads(), 1);
+        assert!(Runner::default().threads() >= 1);
+        assert_eq!(Runner::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn parallel_grid_matches_serial_grid() {
+        let cfg = SystemConfig::small_test();
+        let workloads = [WorkloadId::Lbm, WorkloadId::Copy, WorkloadId::Scale];
+        let jobs = Job::grid(std::slice::from_ref(&cfg), &workloads, tiny());
+        let serial = Runner::serial().run_grid(jobs.clone());
+        let parallel = Runner::new(3).run_grid(jobs);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.workload, p.workload);
+            assert_eq!(s.total_cycles, p.total_cycles);
+            assert_eq!(s.per_core_ipc, p.per_core_ipc);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let runner = Runner::new(2);
+        let _ = runner.run_jobs(vec![1, 2, 3, 4], |x| {
+            assert!(*x != 3, "boom");
+            *x
+        });
+    }
+}

@@ -102,7 +102,11 @@ impl System {
                     bard_cache::ReplacementKind::Lru,
                 ),
                 l1_prefetcher: (config.l1_prefetch_degree > 0).then(|| {
-                    IpStridePrefetcher::new(256, config.line_bytes as u64, config.l1_prefetch_degree)
+                    IpStridePrefetcher::new(
+                        256,
+                        config.line_bytes as u64,
+                        config.l1_prefetch_degree,
+                    )
                 }),
                 l2_prefetcher: (config.l2_prefetch_degree > 0).then(|| {
                     NextLinePrefetcher::new(config.line_bytes as u64, config.l2_prefetch_degree)
@@ -121,9 +125,8 @@ impl System {
             config.write_policy,
             &config.dram,
         );
-        let mcs = (0..config.dram.channels)
-            .map(|ch| MemoryController::new(&config.dram, ch))
-            .collect();
+        let mcs =
+            (0..config.dram.channels).map(|ch| MemoryController::new(&config.dram, ch)).collect();
         Self {
             inflight: MshrFile::new(config.llc_mshrs),
             config,
@@ -196,9 +199,8 @@ impl System {
         for ctx in &mut self.cores {
             ctx.finish_cycle = None;
         }
-        let guard = self
-            .cycle
-            .saturating_add(instructions_per_core.saturating_mul(1_000).max(10_000));
+        let guard =
+            self.cycle.saturating_add(instructions_per_core.saturating_mul(1_000).max(10_000));
         loop {
             self.tick();
             let now = self.cycle;
@@ -242,12 +244,7 @@ impl System {
     /// Convenience driver: functional warm-up, a short timed warm-up, a
     /// statistics reset, then the measured run. Returns the collected
     /// [`RunResult`].
-    pub fn run(
-        &mut self,
-        functional_warmup: u64,
-        timed_warmup: u64,
-        measure: u64,
-    ) -> RunResult {
+    pub fn run(&mut self, functional_warmup: u64, timed_warmup: u64, measure: u64) -> RunResult {
         if functional_warmup > 0 {
             self.functional_warmup(functional_warmup);
         }
@@ -413,9 +410,8 @@ impl System {
             let mut wbs = std::mem::take(&mut self.scratch_writebacks);
             wbs.clear();
             let hit = self.llc.read_access(req.addr, sig, &mut wbs);
+            self.queue_writebacks(&mut wbs);
             self.scratch_writebacks = wbs;
-            let pending: Vec<u64> = self.scratch_writebacks.drain(..).collect();
-            self.queue_writebacks(pending);
             hit
         };
         if llc_hit {
@@ -491,9 +487,8 @@ impl System {
             let mut oracle = |addr: u64| wrq_has_pending(mcs, addr);
             llc.writeback_from_inner(line, &mut wbs, &mut oracle);
         }
-        let pending: Vec<u64> = wbs.drain(..).collect();
+        self.queue_writebacks(&mut wbs);
         self.scratch_writebacks = wbs;
-        self.queue_writebacks(pending);
     }
 
     fn issue_prefetches(&mut self, ci: usize, addrs: &[u64]) {
@@ -519,9 +514,8 @@ impl System {
                 continue;
             }
             let waiter = encode_prefetch_waiter(ci);
-            match self.inflight.allocate(line, waiter, false, true) {
-                Ok(true) => self.dram_pending.push_back(line),
-                Ok(false) | Err(_) => {}
+            if let Ok(true) = self.inflight.allocate(line, waiter, false, true) {
+                self.dram_pending.push_back(line)
             }
         }
     }
@@ -541,9 +535,8 @@ impl System {
                 let mut oracle = |addr: u64| wrq_has_pending(mcs, addr);
                 llc.fill(line, 0, false, &mut wbs, &mut oracle);
             }
-            let pending: Vec<u64> = wbs.drain(..).collect();
+            self.queue_writebacks(&mut wbs);
             self.scratch_writebacks = wbs;
-            self.queue_writebacks(pending);
         }
         if prefetch_only {
             if let Some(&w) = waiters.first() {
@@ -591,21 +584,21 @@ impl System {
         }
         let result = self.cores[ci].l1d.fill(line, is_write, 0);
         if let Some(evicted) = result.evicted {
-            if evicted.dirty {
-                if !self.cores[ci].l2.writeback_access(evicted.addr) {
-                    let r2 = self.cores[ci].l2.fill(evicted.addr, true, 0);
-                    if let Some(e2) = r2.evicted {
-                        if e2.dirty {
-                            self.llc.functional_access(e2.addr, true);
-                        }
+            if evicted.dirty && !self.cores[ci].l2.writeback_access(evicted.addr) {
+                let r2 = self.cores[ci].l2.fill(evicted.addr, true, 0);
+                if let Some(e2) = r2.evicted {
+                    if e2.dirty {
+                        self.llc.functional_access(e2.addr, true);
                     }
                 }
             }
         }
     }
 
-    fn queue_writebacks(&mut self, writebacks: Vec<u64>) {
-        for addr in writebacks {
+    /// Moves the writebacks into the pending queue, leaving the (reusable)
+    /// scratch buffer empty with its capacity intact.
+    fn queue_writebacks(&mut self, writebacks: &mut Vec<u64>) {
+        for addr in writebacks.drain(..) {
             self.writeback_pending.push_back(addr);
         }
     }

@@ -26,12 +26,7 @@ impl CoreConfig {
     /// The 512-entry-ROB, 4-wide core of Table II.
     #[must_use]
     pub fn baseline() -> Self {
-        Self {
-            rob_entries: 512,
-            dispatch_width: 4,
-            retire_width: 4,
-            store_buffer_entries: 64,
-        }
+        Self { rob_entries: 512, dispatch_width: 4, retire_width: 4, store_buffer_entries: 64 }
     }
 }
 
@@ -336,7 +331,6 @@ mod tests {
         // Every dispatched instruction is an un-completed load: nothing retires.
         assert_eq!(core.retired(), 0);
         assert!(core.stats().head_blocked_cycles > 0);
-        drop(issue);
         let first = tokens[0];
         core.complete_load(first);
         let mut issue2 = |_req: CoreRequest| true;

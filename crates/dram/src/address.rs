@@ -76,9 +76,7 @@ impl AddressMapping {
     /// Panics if the configuration fails [`DramConfig::validate`].
     #[must_use]
     pub fn new(config: &DramConfig) -> Self {
-        config
-            .validate()
-            .expect("DramConfig must be valid to build an AddressMapping");
+        config.validate().expect("DramConfig must be valid to build an AddressMapping");
         Self {
             scheme: config.mapping,
             line_shift: config.line_bytes.trailing_zeros(),

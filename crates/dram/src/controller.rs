@@ -165,10 +165,7 @@ impl MemoryController {
         for sub in &self.subchannels {
             merged.merge(sub.stats());
         }
-        ChannelStats {
-            merged,
-            subchannels: self.subchannels.len(),
-        }
+        ChannelStats { merged, subchannels: self.subchannels.len() }
     }
 
     /// Energy consumed so far, summed across sub-channels.
@@ -180,7 +177,6 @@ impl MemoryController {
         }
         total
     }
-
 }
 
 #[cfg(test)]

@@ -121,13 +121,7 @@ mod tests {
     use super::*;
 
     fn stats(reads: u64, writes: u64, acts: u64, cycles: u64) -> SubChannelStats {
-        SubChannelStats {
-            reads,
-            writes,
-            activates: acts,
-            cycles,
-            ..Default::default()
-        }
+        SubChannelStats { reads, writes, activates: acts, cycles, ..Default::default() }
     }
 
     #[test]

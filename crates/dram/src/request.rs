@@ -36,14 +36,7 @@ impl MemRequest {
     /// controller when the request is enqueued.
     #[must_use]
     pub fn new(id: RequestId, kind: RequestKind, addr: u64, core: usize) -> Self {
-        Self {
-            id,
-            kind,
-            addr,
-            core,
-            enqueue_cycle: 0,
-            decoded: DecodedAddr::default(),
-        }
+        Self { id, kind, addr, core, enqueue_cycle: 0, decoded: DecodedAddr::default() }
     }
 
     /// Convenience constructor for a read.

@@ -230,9 +230,8 @@ mod tests {
 
     #[test]
     fn blp_is_mean_over_episodes() {
-        let mut s = SubChannelStats::default();
-        s.drain_episodes = 4;
-        s.drain_unique_banks = 100;
+        let s =
+            SubChannelStats { drain_episodes: 4, drain_unique_banks: 100, ..Default::default() };
         assert!((s.mean_write_blp() - 25.0).abs() < 1e-12);
     }
 
@@ -271,9 +270,8 @@ mod tests {
 
     #[test]
     fn channel_write_time_fraction_averages_subchannels() {
-        let mut merged = SubChannelStats::default();
-        merged.cycles = 1000;
-        merged.write_mode_cycles = 600; // e.g. 300 from each of 2 sub-channels
+        // e.g. 300 write-mode cycles from each of 2 sub-channels.
+        let merged = SubChannelStats { cycles: 1000, write_mode_cycles: 600, ..Default::default() };
         let c = ChannelStats { merged, subchannels: 2 };
         assert!((c.write_time_fraction() - 0.3).abs() < 1e-12);
     }

@@ -267,7 +267,8 @@ impl SubChannel {
         if !issued {
             // Nothing could issue this cycle; sleep briefly. Any enqueue
             // resets `idle_until`, so this only skips redundant scans.
-            self.idle_until = now + if self.read_q.is_empty() && self.write_q.is_empty() { 8 } else { 3 };
+            self.idle_until =
+                now + if self.read_q.is_empty() && self.write_q.is_empty() { 8 } else { 3 };
         }
     }
 
@@ -397,9 +398,7 @@ impl SubChannel {
                 let bank = self.bank_index(&q.req);
                 let bg = q.req.decoded.bankgroup;
                 let b = &self.banks[bank];
-                if b.is_row_hit(q.req.decoded.row)
-                    && b.cas_ok_at <= now
-                    && self.bg_rd_ok[bg] <= now
+                if b.is_row_hit(q.req.decoded.row) && b.cas_ok_at <= now && self.bg_rd_ok[bg] <= now
                 {
                     chosen = Some(idx);
                     break;
@@ -454,9 +453,7 @@ impl SubChannel {
                 let bank = self.bank_index(&q.req);
                 let bg = q.req.decoded.bankgroup;
                 let b = &self.banks[bank];
-                if b.is_row_hit(q.req.decoded.row)
-                    && b.cas_ok_at <= now
-                    && self.bg_wr_ok[bg] <= now
+                if b.is_row_hit(q.req.decoded.row) && b.cas_ok_at <= now && self.bg_wr_ok[bg] <= now
                 {
                     chosen = Some(idx);
                     break;
@@ -658,12 +655,7 @@ mod tests {
         c
     }
 
-    fn make_req(
-        mapping: &AddressMapping,
-        id: u64,
-        kind: RequestKind,
-        addr: u64,
-    ) -> MemRequest {
+    fn make_req(mapping: &AddressMapping, id: u64, kind: RequestKind, addr: u64) -> MemRequest {
         let mut r = MemRequest::new(id, kind, addr, 0);
         r.decoded = mapping.decode(addr);
         r

@@ -117,10 +117,7 @@ impl TimingParams {
     /// `tCCD_L_WR` halves to roughly 10 ns (Section VII-D).
     #[must_use]
     pub fn ddr5_4800_x8() -> Self {
-        Self {
-            t_ccd_l_wr: 24,
-            ..Self::ddr5_4800_x4()
-        }
+        Self { t_ccd_l_wr: 24, ..Self::ddr5_4800_x4() }
     }
 
     /// Converts every parameter into CPU cycles.

@@ -11,8 +11,8 @@
 //! what gives real graph workloads their partial cache residency).
 
 use bard_cpu::{TraceRecord, TraceSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::SmallRng;
 
 /// Parameters describing one LIGRA-like workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,7 +58,7 @@ impl GraphSpec {
 #[derive(Debug, Clone)]
 pub struct GraphWorkload {
     spec: GraphSpec,
-    rng: StdRng,
+    rng: SmallRng,
     /// Base of the (virtual) edge array.
     edge_base: u64,
     /// Base of the (virtual) offsets array.
@@ -97,7 +97,7 @@ impl GraphWorkload {
         let edge_bytes = spec.vertices * spec.avg_degree * 8;
         Self {
             spec,
-            rng: StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
+            rng: SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15),
             edge_base: core_base,
             offsets_base: core_base + edge_bytes + (1 << 30),
             property_base: core_base + edge_bytes + (2 << 30),
@@ -133,8 +133,7 @@ impl GraphWorkload {
     /// toward the hot subset.
     fn destination(&mut self, src: u64, edge_index: u64) -> u64 {
         let hot = self.rng.gen_bool(self.spec.hot_vertex_fraction);
-        let hot_vertices =
-            ((self.spec.vertices as f64 * self.spec.hot_vertex_share) as u64).max(1);
+        let hot_vertices = ((self.spec.vertices as f64 * self.spec.hot_vertex_share) as u64).max(1);
         let h = splitmix(src.wrapping_mul(31).wrapping_add(edge_index));
         if hot {
             h % hot_vertices
@@ -156,57 +155,55 @@ impl GraphWorkload {
 impl TraceSource for GraphWorkload {
     fn next_record(&mut self) -> TraceRecord {
         let ip_base = 0x50_0000;
-        loop {
-            match self.phase {
-                Phase::Offsets => {
-                    let addr = self.offsets_base + self.src * 8;
-                    self.edges_left = self.degree_of(self.src);
-                    self.phase = if self.edges_left > 0 {
-                        Phase::Edge
-                    } else {
-                        self.src = (self.src + 1) % self.spec.vertices;
-                        Phase::Offsets
-                    };
-                    // Offsets are read sequentially and mostly hit; still emit
-                    // the access so the L1/L2 see the stream.
-                    let bubble = self.bubble();
-                    return TraceRecord::load(ip_base, bubble, addr);
-                }
-                Phase::Edge => {
-                    let addr = self.edge_base + self.edge_cursor;
-                    self.edge_cursor += 8;
-                    let edge_index = self.edges_left;
-                    self.edges_left -= 1;
-                    let dst = self.destination(self.src, edge_index);
-                    self.phase = Phase::PropertyRead { dst };
-                    let bubble = self.bubble();
-                    return TraceRecord::load(ip_base + 8, bubble, addr);
-                }
-                Phase::PropertyRead { dst } => {
-                    let addr = self.property_base + dst * self.spec.property_bytes;
-                    let store = self.rng.gen_bool(self.spec.property_store_fraction);
-                    self.phase = if store {
-                        Phase::PropertyWrite { dst }
-                    } else if self.edges_left > 0 {
-                        Phase::Edge
-                    } else {
-                        self.src = (self.src + 1) % self.spec.vertices;
-                        Phase::Offsets
-                    };
-                    let bubble = self.bubble();
-                    return TraceRecord::load(ip_base + 16, bubble, addr);
-                }
-                Phase::PropertyWrite { dst } => {
-                    let addr = self.property_base + dst * self.spec.property_bytes;
-                    self.phase = if self.edges_left > 0 {
-                        Phase::Edge
-                    } else {
-                        self.src = (self.src + 1) % self.spec.vertices;
-                        Phase::Offsets
-                    };
-                    let bubble = self.bubble();
-                    return TraceRecord::store(ip_base + 24, bubble, addr);
-                }
+        match self.phase {
+            Phase::Offsets => {
+                let addr = self.offsets_base + self.src * 8;
+                self.edges_left = self.degree_of(self.src);
+                self.phase = if self.edges_left > 0 {
+                    Phase::Edge
+                } else {
+                    self.src = (self.src + 1) % self.spec.vertices;
+                    Phase::Offsets
+                };
+                // Offsets are read sequentially and mostly hit; still emit
+                // the access so the L1/L2 see the stream.
+                let bubble = self.bubble();
+                TraceRecord::load(ip_base, bubble, addr)
+            }
+            Phase::Edge => {
+                let addr = self.edge_base + self.edge_cursor;
+                self.edge_cursor += 8;
+                let edge_index = self.edges_left;
+                self.edges_left -= 1;
+                let dst = self.destination(self.src, edge_index);
+                self.phase = Phase::PropertyRead { dst };
+                let bubble = self.bubble();
+                TraceRecord::load(ip_base + 8, bubble, addr)
+            }
+            Phase::PropertyRead { dst } => {
+                let addr = self.property_base + dst * self.spec.property_bytes;
+                let store = self.rng.gen_bool(self.spec.property_store_fraction);
+                self.phase = if store {
+                    Phase::PropertyWrite { dst }
+                } else if self.edges_left > 0 {
+                    Phase::Edge
+                } else {
+                    self.src = (self.src + 1) % self.spec.vertices;
+                    Phase::Offsets
+                };
+                let bubble = self.bubble();
+                TraceRecord::load(ip_base + 16, bubble, addr)
+            }
+            Phase::PropertyWrite { dst } => {
+                let addr = self.property_base + dst * self.spec.property_bytes;
+                self.phase = if self.edges_left > 0 {
+                    Phase::Edge
+                } else {
+                    self.src = (self.src + 1) % self.spec.vertices;
+                    Phase::Offsets
+                };
+                let bubble = self.bubble();
+                TraceRecord::store(ip_base + 24, bubble, addr)
             }
         }
     }
@@ -229,11 +226,7 @@ mod tests {
     use super::*;
 
     fn small_spec() -> GraphSpec {
-        GraphSpec {
-            vertices: 1024,
-            avg_degree: 8,
-            ..GraphSpec::generic("test-graph")
-        }
+        GraphSpec { vertices: 1024, avg_degree: 8, ..GraphSpec::generic("test-graph") }
     }
 
     #[test]
@@ -276,7 +269,11 @@ mod tests {
                 props.insert(r.access.unwrap().addr);
             }
         }
-        assert!(props.len() > 100, "property reads should touch many vertices, got {}", props.len());
+        assert!(
+            props.len() > 100,
+            "property reads should touch many vertices, got {}",
+            props.len()
+        );
     }
 
     #[test]
@@ -299,20 +296,12 @@ mod tests {
 
     #[test]
     fn store_fraction_controls_write_intensity() {
-        let mut wr_heavy = GraphWorkload::new(
-            GraphSpec { property_store_fraction: 0.6, ..small_spec() },
-            0,
-            5,
-        );
-        let mut rd_heavy = GraphWorkload::new(
-            GraphSpec { property_store_fraction: 0.05, ..small_spec() },
-            0,
-            5,
-        );
+        let mut wr_heavy =
+            GraphWorkload::new(GraphSpec { property_store_fraction: 0.6, ..small_spec() }, 0, 5);
+        let mut rd_heavy =
+            GraphWorkload::new(GraphSpec { property_store_fraction: 0.05, ..small_spec() }, 0, 5);
         let count_stores = |g: &mut GraphWorkload| {
-            (0..20_000)
-                .filter(|_| g.next_record().access.is_some_and(|a| a.is_store()))
-                .count()
+            (0..20_000).filter(|_| g.next_record().access.is_some_and(|a| a.is_store())).count()
         };
         assert!(count_stores(&mut wr_heavy) > 4 * count_stores(&mut rd_heavy));
     }

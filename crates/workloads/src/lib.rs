@@ -38,10 +38,12 @@
 
 pub mod graph;
 pub mod registry;
+pub mod rng;
 pub mod stream;
 pub mod synthetic;
 
 pub use graph::{GraphSpec, GraphWorkload};
 pub use registry::{Suite, WorkloadId};
+pub use rng::SmallRng;
 pub use stream::{StreamKernel, StreamKind};
 pub use synthetic::{SyntheticSpec, SyntheticWorkload};

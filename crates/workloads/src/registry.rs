@@ -74,8 +74,28 @@ impl WorkloadId {
     pub fn singles() -> &'static [WorkloadId] {
         use WorkloadId::*;
         &[
-            Cam4, Roms, Omnetpp, Bwaves, Fotonik3d, Wrf, Lbm, Triangle, Cf, PagerankDelta, Mis,
-            Bc, BellmanFord, Pagerank, Radii, Scale, Copy, Triad, Add, Whiskey, Charlie, Merced,
+            Cam4,
+            Roms,
+            Omnetpp,
+            Bwaves,
+            Fotonik3d,
+            Wrf,
+            Lbm,
+            Triangle,
+            Cf,
+            PagerankDelta,
+            Mis,
+            Bc,
+            BellmanFord,
+            Pagerank,
+            Radii,
+            Scale,
+            Copy,
+            Triad,
+            Add,
+            Whiskey,
+            Charlie,
+            Merced,
             Delta,
         ]
     }
@@ -226,21 +246,62 @@ impl WorkloadId {
         let base = GraphSpec::generic(self.name());
         match self {
             // MPKI 15.9, WPKI 8.1 — moderate traffic, frequent property writes.
-            Triangle => GraphSpec { avg_degree: 24, property_store_fraction: 0.38, hot_vertex_fraction: 0.72, bubble: 7, ..base },
+            Triangle => GraphSpec {
+                avg_degree: 24,
+                property_store_fraction: 0.38,
+                hot_vertex_fraction: 0.72,
+                bubble: 7,
+                ..base
+            },
             // MPKI 48.3, WPKI 16.2 — heavy, write-rich.
-            Cf => GraphSpec { property_store_fraction: 0.30, hot_vertex_fraction: 0.42, bubble: 3, ..base },
+            Cf => GraphSpec {
+                property_store_fraction: 0.30,
+                hot_vertex_fraction: 0.42,
+                bubble: 3,
+                ..base
+            },
             // MPKI 25.3, WPKI 8.1.
-            PagerankDelta => GraphSpec { property_store_fraction: 0.26, hot_vertex_fraction: 0.60, bubble: 5, ..base },
+            PagerankDelta => GraphSpec {
+                property_store_fraction: 0.26,
+                hot_vertex_fraction: 0.60,
+                bubble: 5,
+                ..base
+            },
             // MPKI 26.1, WPKI 10.4.
-            Mis => GraphSpec { property_store_fraction: 0.34, hot_vertex_fraction: 0.60, bubble: 5, ..base },
+            Mis => GraphSpec {
+                property_store_fraction: 0.34,
+                hot_vertex_fraction: 0.60,
+                bubble: 5,
+                ..base
+            },
             // MPKI 57.2, WPKI 20.7 — heaviest writer of the graph suite.
-            Bc => GraphSpec { property_store_fraction: 0.32, hot_vertex_fraction: 0.36, bubble: 2, ..base },
+            Bc => GraphSpec {
+                property_store_fraction: 0.32,
+                hot_vertex_fraction: 0.36,
+                bubble: 2,
+                ..base
+            },
             // MPKI 45.2, WPKI 3.3 — read-dominated relaxations.
-            BellmanFord => GraphSpec { property_store_fraction: 0.06, hot_vertex_fraction: 0.40, bubble: 3, ..base },
+            BellmanFord => GraphSpec {
+                property_store_fraction: 0.06,
+                hot_vertex_fraction: 0.40,
+                bubble: 3,
+                ..base
+            },
             // MPKI 70.0, WPKI 10.9 — most misses, moderate writes.
-            Pagerank => GraphSpec { property_store_fraction: 0.13, hot_vertex_fraction: 0.22, bubble: 2, ..base },
+            Pagerank => GraphSpec {
+                property_store_fraction: 0.13,
+                hot_vertex_fraction: 0.22,
+                bubble: 2,
+                ..base
+            },
             // MPKI 60.7, WPKI 16.0.
-            Radii => GraphSpec { property_store_fraction: 0.22, hot_vertex_fraction: 0.30, bubble: 2, ..base },
+            Radii => GraphSpec {
+                property_store_fraction: 0.22,
+                hot_vertex_fraction: 0.30,
+                bubble: 2,
+                ..base
+            },
             _ => panic!("{} is not a LIGRA workload", self.name()),
         }
     }
@@ -257,28 +318,94 @@ impl WorkloadId {
         match self {
             // SPEC2017 — MPKI/WPKI targets from Table IV in the comments.
             // cam4: 9.2 / 4.1, moderately write-heavy.
-            Cam4 => SyntheticSpec { hot_fraction: 0.90, streaming_fraction: 0.45, store_fraction: 0.44, mean_bubble: 9, ..base },
+            Cam4 => SyntheticSpec {
+                hot_fraction: 0.90,
+                streaming_fraction: 0.45,
+                store_fraction: 0.44,
+                mean_bubble: 9,
+                ..base
+            },
             // roms: 13.2 / 2.7, streaming reads.
-            Roms => SyntheticSpec { hot_fraction: 0.89, streaming_fraction: 0.75, store_fraction: 0.20, mean_bubble: 7, ..base },
+            Roms => SyntheticSpec {
+                hot_fraction: 0.89,
+                streaming_fraction: 0.75,
+                store_fraction: 0.20,
+                mean_bubble: 7,
+                ..base
+            },
             // omnetpp: 13.7 / 5.5, irregular pointer chasing.
-            Omnetpp => SyntheticSpec { hot_fraction: 0.90, streaming_fraction: 0.10, store_fraction: 0.40, mean_bubble: 6, ..base },
+            Omnetpp => SyntheticSpec {
+                hot_fraction: 0.90,
+                streaming_fraction: 0.10,
+                store_fraction: 0.40,
+                mean_bubble: 6,
+                ..base
+            },
             // bwaves: 20.8 / 6.1, streaming stencil.
-            Bwaves => SyntheticSpec { hot_fraction: 0.875, streaming_fraction: 0.80, store_fraction: 0.29, mean_bubble: 5, ..base },
+            Bwaves => SyntheticSpec {
+                hot_fraction: 0.875,
+                streaming_fraction: 0.80,
+                store_fraction: 0.29,
+                mean_bubble: 5,
+                ..base
+            },
             // fotonik3d: 30.6 / 9.7.
-            Fotonik3d => SyntheticSpec { hot_fraction: 0.85, streaming_fraction: 0.80, store_fraction: 0.32, mean_bubble: 4, ..base },
+            Fotonik3d => SyntheticSpec {
+                hot_fraction: 0.85,
+                streaming_fraction: 0.80,
+                store_fraction: 0.32,
+                mean_bubble: 4,
+                ..base
+            },
             // wrf: 25.4 / 7.3.
-            Wrf => SyntheticSpec { hot_fraction: 0.87, streaming_fraction: 0.70, store_fraction: 0.29, mean_bubble: 4, ..base },
+            Wrf => SyntheticSpec {
+                hot_fraction: 0.87,
+                streaming_fraction: 0.70,
+                store_fraction: 0.29,
+                mean_bubble: 4,
+                ..base
+            },
             // lbm: 48.5 / 25.5, the classic streaming read-modify-write stencil.
-            Lbm => SyntheticSpec { hot_fraction: 0.85, streaming_fraction: 0.90, store_fraction: 0.52, mean_bubble: 2, ..base },
+            Lbm => SyntheticSpec {
+                hot_fraction: 0.85,
+                streaming_fraction: 0.90,
+                store_fraction: 0.52,
+                mean_bubble: 2,
+                ..base
+            },
             // Google server traces: large irregular footprints, moderate writes.
             // whiskey: 19.2 / 5.1.
-            Whiskey => SyntheticSpec { hot_fraction: 0.885, streaming_fraction: 0.20, store_fraction: 0.27, mean_bubble: 5, ..base },
+            Whiskey => SyntheticSpec {
+                hot_fraction: 0.885,
+                streaming_fraction: 0.20,
+                store_fraction: 0.27,
+                mean_bubble: 5,
+                ..base
+            },
             // charlie: 16.1 / 5.3.
-            Charlie => SyntheticSpec { hot_fraction: 0.90, streaming_fraction: 0.20, store_fraction: 0.33, mean_bubble: 5, ..base },
+            Charlie => SyntheticSpec {
+                hot_fraction: 0.90,
+                streaming_fraction: 0.20,
+                store_fraction: 0.33,
+                mean_bubble: 5,
+                ..base
+            },
             // merced: 20.0 / 5.7.
-            Merced => SyntheticSpec { hot_fraction: 0.88, streaming_fraction: 0.25, store_fraction: 0.29, mean_bubble: 5, ..base },
+            Merced => SyntheticSpec {
+                hot_fraction: 0.88,
+                streaming_fraction: 0.25,
+                store_fraction: 0.29,
+                mean_bubble: 5,
+                ..base
+            },
             // delta: 27.3 / 5.1.
-            Delta => SyntheticSpec { hot_fraction: 0.865, streaming_fraction: 0.25, store_fraction: 0.19, mean_bubble: 4, ..base },
+            Delta => SyntheticSpec {
+                hot_fraction: 0.865,
+                streaming_fraction: 0.25,
+                store_fraction: 0.19,
+                mean_bubble: 4,
+                ..base
+            },
             _ => panic!("{} does not use the synthetic generator", self.name()),
         }
     }
@@ -325,10 +452,7 @@ mod tests {
     #[test]
     fn mixes_match_table3() {
         use WorkloadId::*;
-        assert_eq!(
-            Mix0.mix_constituents(),
-            [Cam4, Omnetpp, Lbm, Cf, Mis, Whiskey, Merced, Delta]
-        );
+        assert_eq!(Mix0.mix_constituents(), [Cam4, Omnetpp, Lbm, Cf, Mis, Whiskey, Merced, Delta]);
         assert_eq!(
             Mix5.mix_constituents(),
             [Roms, Bwaves, Fotonik3d, Wrf, Lbm, Triangle, PagerankDelta, Delta]

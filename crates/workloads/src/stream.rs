@@ -86,11 +86,7 @@ impl StreamKernel {
         let core_base = 0x100_0000_0000u64 * core_id as u64 + 0x1000_0000;
         Self {
             kind,
-            bases: [
-                core_base,
-                core_base + 2 * array_bytes,
-                core_base + 4 * array_bytes,
-            ],
+            bases: [core_base, core_base + 2 * array_bytes, core_base + 4 * array_bytes],
             elements: array_bytes / element_bytes,
             element_bytes,
             bubble: 2,
@@ -113,8 +109,8 @@ impl StreamKernel {
     /// (source arrays, destination array) for the kernel.
     fn roles(&self) -> (&'static [usize], usize) {
         match self.kind {
-            StreamKind::Copy => (&[0], 2),  // c <- a
-            StreamKind::Scale => (&[2], 1), // b <- c
+            StreamKind::Copy => (&[0], 2),   // c <- a
+            StreamKind::Scale => (&[2], 1),  // b <- c
             StreamKind::Add => (&[1, 2], 0), // a <- b + c
             StreamKind::Triad => (&[1, 2], 0),
         }

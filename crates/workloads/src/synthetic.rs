@@ -10,8 +10,8 @@
 //! calibration test in the `bard` crate.
 
 use bard_cpu::{TraceRecord, TraceSource};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::SmallRng;
 
 /// Parameters of a synthetic workload.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,7 +85,7 @@ impl SyntheticSpec {
 #[derive(Debug, Clone)]
 pub struct SyntheticWorkload {
     spec: SyntheticSpec,
-    rng: StdRng,
+    rng: SmallRng,
     hot_base: u64,
     cold_base: u64,
     stream_cursors: Vec<u64>,
@@ -103,11 +103,15 @@ impl SyntheticWorkload {
     pub fn new(spec: SyntheticSpec, core_id: usize, seed: u64) -> Self {
         spec.validate().expect("invalid SyntheticSpec");
         let core_base = 0x400_0000_0000u64 * (core_id as u64 + 1);
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(core_id as u64));
+        let mut rng = SmallRng::seed_from_u64(
+            seed.wrapping_mul(0xD134_2543_DE82_EF95).wrapping_add(core_id as u64),
+        );
         let stream_cursors = (0..spec.stream_count)
-            .map(|i| core_base + (1 << 32) + i as u64 * (spec.footprint_bytes / spec.stream_count as u64))
+            .map(|i| {
+                core_base + (1 << 32) + i as u64 * (spec.footprint_bytes / spec.stream_count as u64)
+            })
             .collect();
-        let _ = rng.gen::<u64>();
+        let _ = rng.next_u64();
         Self {
             spec,
             rng,
@@ -201,9 +205,8 @@ mod tests {
         let mut s = spec();
         s.store_fraction = 0.25;
         let mut w = SyntheticWorkload::new(s, 0, 7);
-        let stores = (0..40_000)
-            .filter(|_| w.next_record().access.is_some_and(|a| a.is_store()))
-            .count();
+        let stores =
+            (0..40_000).filter(|_| w.next_record().access.is_some_and(|a| a.is_store())).count();
         let fraction = stores as f64 / 40_000.0;
         assert!((fraction - 0.25).abs() < 0.02, "observed store fraction {fraction}");
     }

@@ -9,44 +9,39 @@
 //! cargo run --release --example graph_analytics [--quick]
 //! ```
 
-use bard::experiment::{run_workload, RunLength};
+use bard::experiment::{Comparison, RunLength};
 use bard::report::Table;
-use bard::{speedup_percent, SystemConfig, WritePolicyKind};
+use bard::{SystemConfig, WritePolicyKind};
 use bard_workloads::{Suite, WorkloadId};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let length = if quick { RunLength::test() } else { RunLength::quick() };
-    let workloads: Vec<WorkloadId> = WorkloadId::singles()
-        .iter()
-        .copied()
-        .filter(|w| w.suite() == Suite::Ligra)
-        .collect();
+    let workloads: Vec<WorkloadId> =
+        WorkloadId::singles().iter().copied().filter(|w| w.suite() == Suite::Ligra).collect();
 
     let baseline_cfg = SystemConfig::baseline_8core();
-    let variants = [
-        WritePolicyKind::BardE,
-        WritePolicyKind::BardC,
-        WritePolicyKind::BardH,
-    ];
+    let policies = [WritePolicyKind::BardE, WritePolicyKind::BardC, WritePolicyKind::BardH];
+    let variants: Vec<_> = policies.iter().map(|&p| baseline_cfg.clone().with_policy(p)).collect();
+
+    // One parallel grid: the baseline runs once and is shared by all three
+    // variant comparisons.
+    let comparisons = Comparison::run_many(&baseline_cfg, &variants, &workloads, length);
 
     let mut table = Table::new(vec![
         "workload", "MPKI", "WPKI", "BLP", "W%", "BARD-E %", "BARD-C %", "BARD-H %",
     ]);
-
-    for workload in workloads {
-        let base = run_workload(&baseline_cfg, workload, length);
+    let speedups: Vec<_> = comparisons.iter().map(Comparison::speedups_percent).collect();
+    for (wi, base) in comparisons[0].baseline.iter().enumerate() {
         let mut row = vec![
-            workload.name().to_string(),
+            base.workload.name().to_string(),
             format!("{:.1}", base.mpki()),
             format!("{:.1}", base.wpki()),
             format!("{:.1}", base.write_blp()),
             format!("{:.1}", base.write_time_fraction() * 100.0),
         ];
-        for policy in variants {
-            let cfg = baseline_cfg.clone().with_policy(policy);
-            let result = run_workload(&cfg, workload, length);
-            row.push(format!("{:+.2}", speedup_percent(&result, &base)));
+        for per_policy in &speedups {
+            row.push(format!("{:+.2}", per_policy[wi].1));
         }
         table.push_row(row);
     }

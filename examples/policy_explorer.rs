@@ -9,7 +9,7 @@
 //! cargo run --release --example policy_explorer [workload]
 //! ```
 
-use bard::experiment::{run_workload, RunLength};
+use bard::experiment::{Comparison, RunLength};
 use bard::report::Table;
 use bard::{speedup_percent, SystemConfig, WritePolicyKind};
 use bard_workloads::WorkloadId;
@@ -23,7 +23,6 @@ fn main() {
     let baseline_cfg = SystemConfig::baseline_8core();
 
     println!("Exploring LLC writeback policies on '{workload}' (8-core DDR5 baseline)\n");
-    let baseline = run_workload(&baseline_cfg, workload, length);
 
     let policies = [
         WritePolicyKind::Baseline,
@@ -33,19 +32,28 @@ fn main() {
         WritePolicyKind::EagerWriteback,
         WritePolicyKind::VirtualWriteQueue,
     ];
+    // All six policies run as one parallel grid; the baseline is simulated
+    // once and serves as both a table row and the speedup reference.
+    let variants: Vec<_> =
+        policies[1..].iter().map(|&p| baseline_cfg.clone().with_policy(p)).collect();
+    let comparisons = Comparison::run_many(&baseline_cfg, &variants, &[workload], length);
+    let baseline = &comparisons[0].baseline[0];
 
     let mut table = Table::new(vec![
-        "policy", "speedup %", "MPKI", "WPKI", "BLP", "W%", "overrides", "cleanses",
+        "policy",
+        "speedup %",
+        "MPKI",
+        "WPKI",
+        "BLP",
+        "W%",
+        "overrides",
+        "cleanses",
     ]);
-    for policy in policies {
-        let result = if policy == WritePolicyKind::Baseline {
-            baseline.clone()
-        } else {
-            run_workload(&baseline_cfg.clone().with_policy(policy), workload, length)
-        };
+    let results = std::iter::once(baseline).chain(comparisons.iter().map(|cmp| &cmp.test[0]));
+    for (policy, result) in policies.iter().zip(results) {
         table.push_row(vec![
             policy.label().to_string(),
-            format!("{:+.2}", speedup_percent(&result, &baseline)),
+            format!("{:+.2}", speedup_percent(result, baseline)),
             format!("{:.1}", result.mpki()),
             format!("{:.1}", result.wpki()),
             format!("{:.1}", result.write_blp()),

@@ -8,7 +8,7 @@
 //! cargo run --release --example quickstart [workload]
 //! ```
 
-use bard::experiment::{run_workload, RunLength};
+use bard::experiment::{Comparison, RunLength};
 use bard::{speedup_percent, SystemConfig, WritePolicyKind};
 use bard_workloads::WorkloadId;
 
@@ -29,9 +29,10 @@ fn main() {
     let bard_cfg = baseline_cfg.clone().with_policy(WritePolicyKind::BardH);
 
     let start = std::time::Instant::now();
-    let baseline = run_workload(&baseline_cfg, workload, length);
-    let bard = run_workload(&bard_cfg, workload, length);
+    // Both configurations run concurrently on the default runner.
+    let cmp = Comparison::run(&baseline_cfg, &bard_cfg, &[workload], length);
     let elapsed = start.elapsed();
+    let (baseline, bard) = (&cmp.baseline[0], &cmp.test[0]);
 
     println!();
     println!("                        baseline    BARD-H");
@@ -49,7 +50,7 @@ fn main() {
         baseline.mean_write_to_write_ns(),
         bard.mean_write_to_write_ns()
     );
-    let p = bard.policy_stats;
+    let p = &bard.policy_stats;
     println!();
     println!(
         "BARD-H decisions: {} evictions, {} overrides ({:.1}%), {} cleanses ({:.1}%)",
@@ -64,6 +65,6 @@ fn main() {
         p.incorrect_decision_fraction() * 100.0
     );
     println!();
-    println!("speedup of BARD-H over baseline: {:+.2}%", speedup_percent(&bard, &baseline));
+    println!("speedup of BARD-H over baseline: {:+.2}%", speedup_percent(bard, baseline));
     println!("(simulated both configurations in {:.1}s)", elapsed.as_secs_f64());
 }

@@ -12,21 +12,19 @@
 //! cargo run --release --example stream_write_drain
 //! ```
 
-use bard::experiment::{run_workload, RunLength};
+use bard::experiment::{Comparison, RunLength};
 use bard::report::Table;
 use bard::{speedup_percent, SystemConfig, WritePolicyKind};
 use bard_workloads::WorkloadId;
 
 fn main() {
-    let kernels = [
-        WorkloadId::Copy,
-        WorkloadId::Scale,
-        WorkloadId::Add,
-        WorkloadId::Triad,
-    ];
+    let kernels = [WorkloadId::Copy, WorkloadId::Scale, WorkloadId::Add, WorkloadId::Triad];
     let length = RunLength::quick();
     let baseline_cfg = SystemConfig::baseline_8core();
     let bard_cfg = baseline_cfg.clone().with_policy(WritePolicyKind::BardH);
+
+    // All eight (config, kernel) simulations run as one parallel grid.
+    let cmp = Comparison::run(&baseline_cfg, &bard_cfg, &kernels, length);
 
     let mut table = Table::new(vec![
         "kernel",
@@ -39,23 +37,21 @@ fn main() {
         "speedup %",
     ]);
 
-    for kernel in kernels {
-        let base = run_workload(&baseline_cfg, kernel, length);
-        let bard = run_workload(&bard_cfg, kernel, length);
+    for (base, bard) in cmp.baseline.iter().zip(&cmp.test) {
         let writes_per_drain = if base.dram_stats.drain_episodes > 0 {
             base.dram_stats.drain_writes as f64 / base.dram_stats.drain_episodes as f64
         } else {
             0.0
         };
         table.push_row(vec![
-            kernel.name().to_string(),
+            base.workload.name().to_string(),
             base.dram_stats.drain_episodes.to_string(),
             format!("{writes_per_drain:.1}"),
             format!("{:.1}", base.write_blp()),
             format!("{:.1}", bard.write_blp()),
             format!("{:.1}", base.write_time_fraction() * 100.0),
             format!("{:.1}", bard.write_time_fraction() * 100.0),
-            format!("{:+.2}", speedup_percent(&bard, &base)),
+            format!("{:+.2}", speedup_percent(bard, base)),
         ]);
     }
 

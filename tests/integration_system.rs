@@ -5,16 +5,12 @@
 //! the whole file stays within a few seconds in release mode.
 
 use bard::experiment::{run_workload, RunLength};
-use bard::{speedup_percent, SystemConfig, System, WritePolicyKind};
+use bard::{speedup_percent, System, SystemConfig, WritePolicyKind};
 use bard_cache::ReplacementKind;
 use bard_workloads::WorkloadId;
 
 fn tiny() -> RunLength {
-    RunLength {
-        functional_warmup: 150_000,
-        timed_warmup: 3_000,
-        measure: 15_000,
-    }
+    RunLength { functional_warmup: 150_000, timed_warmup: 3_000, measure: 15_000 }
 }
 
 fn run(policy: WritePolicyKind, workload: WorkloadId) -> bard::RunResult {
@@ -44,7 +40,7 @@ fn write_blp_stays_within_the_physical_bank_count() {
     for workload in [WorkloadId::Copy, WorkloadId::Lbm, WorkloadId::Bc] {
         let result = run(WritePolicyKind::Baseline, workload);
         let blp = result.write_blp();
-        assert!(blp >= 0.0 && blp <= 32.0, "BLP {blp} out of range for {workload}");
+        assert!((0.0..=32.0).contains(&blp), "BLP {blp} out of range for {workload}");
     }
 }
 
@@ -122,9 +118,8 @@ fn mix_workloads_run_heterogeneous_traces() {
 #[test]
 fn srrip_and_ship_replacement_work_with_bard() {
     for repl in [ReplacementKind::Srrip, ReplacementKind::Ship] {
-        let cfg = SystemConfig::small_test()
-            .with_policy(WritePolicyKind::BardH)
-            .with_replacement(repl);
+        let cfg =
+            SystemConfig::small_test().with_policy(WritePolicyKind::BardH).with_replacement(repl);
         let result = run_workload(&cfg, WorkloadId::Fotonik3d, tiny());
         assert!(result.completed, "{repl:?} run did not finish");
         assert!(result.policy_stats.overrides + result.policy_stats.cleanses > 0);

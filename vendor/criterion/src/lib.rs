@@ -1,0 +1,314 @@
+//! Minimal in-tree stand-in for the [Criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! provides the small API subset the workspace's benches actually use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] configuration,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — with straightforward
+//! wall-clock sampling instead of Criterion's statistical machinery.
+//!
+//! Behavioural notes:
+//!
+//! * each `bench_function` warms up for `warm_up_time`, then collects
+//!   `sample_size` samples within `measurement_time` and reports the median,
+//!   minimum and mean nanoseconds per iteration;
+//! * when the binary is invoked with `--test` (as `cargo test --benches`
+//!   does) every routine runs exactly once, so benches stay cheap smoke
+//!   tests;
+//! * a positional `<filter>` argument restricts which `group/function` ids
+//!   run, mirroring `cargo bench -- <filter>`.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under Criterion's name.
+#[must_use]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortises setup cost. The shim runs one setup per
+/// routine invocation for every variant, so the distinction only documents
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver, normally constructed by [`criterion_main!`].
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/libtest may forward; none change behaviour here.
+                "--bench" | "--nocapture" | "-q" | "--quiet" | "--verbose" => {}
+                other => {
+                    if !other.starts_with('-') && filter.is_none() {
+                        filter = Some(other.to_string());
+                    }
+                }
+            }
+        }
+        Self { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long each benchmark warms up before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the sampling budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark routine and prints its timing summary.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark routine; measures closures.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures a routine by calling it repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            let _ = black_box(routine());
+            return;
+        }
+        // Warm-up: also estimates how many iterations fill one sample.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            let _ = black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                let _ = black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples_ns.push(elapsed * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Measures a routine that consumes a fresh input produced by `setup`;
+    /// only the routine is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let _ = black_box(routine(setup()));
+            return;
+        }
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let _ = black_box(routine(setup()));
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let _ = black_box(routine(input));
+            self.samples_ns.push(start.elapsed().as_secs_f64() * 1e9);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.test_mode {
+            println!("{id}: ok (test mode)");
+            return;
+        }
+        if self.samples_ns.is_empty() {
+            println!("{id}: no samples");
+            return;
+        }
+        self.samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = self.samples_ns.len();
+        let median = if n % 2 == 1 {
+            self.samples_ns[n / 2]
+        } else {
+            (self.samples_ns[n / 2 - 1] + self.samples_ns[n / 2]) / 2.0
+        };
+        let mean = self.samples_ns.iter().sum::<f64>() / n as f64;
+        println!(
+            "{id}: median {} / min {} / mean {}  ({n} samples)",
+            format_ns(median),
+            format_ns(self.samples_ns[0]),
+            format_ns(mean),
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group function that runs each listed benchmark with a fresh
+/// default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this file's benchmarks.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let mut b = Bencher {
+            test_mode: false,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(20),
+            sample_size: 5,
+            samples_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.samples_ns.len(), 5);
+        assert!(b.samples_ns.iter().all(|s| *s >= 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            warm_up_time: Duration::from_secs(100),
+            measurement_time: Duration::from_secs(100),
+            sample_size: 10,
+            samples_ns: Vec::new(),
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.samples_ns.is_empty());
+    }
+
+    #[test]
+    fn format_ns_picks_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(2e9).ends_with(" s"));
+    }
+}

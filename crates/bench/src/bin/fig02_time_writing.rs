@@ -1,33 +1,6 @@
 //! Figure 2: percentage of execution time spent issuing writes to DRAM for
 //! the baseline and for an idealised system where every write takes 3.3 ns.
 
-use bard::report::Table;
-use bard_bench::harness::{mean_of, print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Figure 2", "Time spent writing to DRAM: baseline vs ideal", &cli);
-    let ideal_cfg = {
-        let mut c = cli.config.clone();
-        c.dram = c.dram.clone().ideal();
-        c
-    };
-    let mut grid = cli.run_grid(&[cli.config.clone(), ideal_cfg]);
-    let ideal = grid.pop().expect("ideal results");
-    let base = grid.pop().expect("baseline results");
-    let mut table = Table::new(vec!["workload", "baseline W%", "ideal W%"]);
-    for (b, i) in base.iter().zip(&ideal) {
-        table.push_row(vec![
-            b.workload.name().to_string(),
-            format!("{:.1}", b.write_time_fraction() * 100.0),
-            format!("{:.1}", i.write_time_fraction() * 100.0),
-        ]);
-    }
-    table.push_row(vec![
-        "mean".to_string(),
-        format!("{:.1}", mean_of(&base, bard::RunResult::write_time_fraction) * 100.0),
-        format!("{:.1}", mean_of(&ideal, bard::RunResult::write_time_fraction) * 100.0),
-    ]);
-    println!("{}", table.render());
-    println!("Paper reference: baseline mean 33.0%, ideal mean 24.1%.");
+    bard_bench::experiments::run_main("fig02");
 }

@@ -1,21 +1,6 @@
 //! Figure 3: write bank-level parallelism (unique banks written per drain
 //! episode) for the baseline system.
 
-use bard::report::Table;
-use bard_bench::harness::{mean_of, print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Figure 3", "Baseline write bank-level parallelism", &cli);
-    let base = cli.run(&cli.config);
-    let mut table = Table::new(vec!["workload", "write BLP (of 32)"]);
-    for r in &base {
-        table.push_row(vec![r.workload.name().to_string(), format!("{:.1}", r.write_blp())]);
-    }
-    table.push_row(vec![
-        "mean".to_string(),
-        format!("{:.1}", mean_of(&base, bard::RunResult::write_blp)),
-    ]);
-    println!("{}", table.render());
-    println!("Paper reference: mean write BLP of 22.1 out of 32 banks.");
+    bard_bench::experiments::run_main("fig03");
 }

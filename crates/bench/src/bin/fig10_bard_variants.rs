@@ -1,45 +1,6 @@
 //! Figure 10: speedups of BARD-E, BARD-C and BARD-H over the baseline (top)
 //! and the breakdown of BARD-H's eviction decisions (bottom).
 
-use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Figure 10", "BARD-E / BARD-C / BARD-H speedups and decision breakdown", &cli);
-
-    let policies = [WritePolicyKind::BardE, WritePolicyKind::BardC, WritePolicyKind::BardH];
-    let variants: Vec<_> = policies.iter().map(|&p| cli.config.clone().with_policy(p)).collect();
-    // One parallel grid: the baseline is simulated once, not once per policy.
-    let comparisons = cli.compare(&cli.config, &variants);
-
-    let mut table = Table::new(vec![
-        "workload",
-        "BARD-E %",
-        "BARD-C %",
-        "BARD-H %",
-        "LRU evict %",
-        "override %",
-        "cleanse %",
-    ]);
-    let speedups: Vec<_> = comparisons.iter().map(bard::Comparison::speedups_percent).collect();
-    let bard_h = &comparisons[2];
-    for (wi, &w) in cli.workloads.iter().enumerate() {
-        let mut row = vec![w.name().to_string()];
-        for per_policy in &speedups {
-            row.push(format!("{:+.2}", per_policy[wi].1));
-        }
-        let p = &bard_h.test[wi].policy_stats;
-        row.push(format!("{:.1}", p.plain_fraction() * 100.0));
-        row.push(format!("{:.1}", p.override_fraction() * 100.0));
-        row.push(format!("{:.1}", p.cleanse_fraction() * 100.0));
-        table.push_row(row);
-    }
-    println!("{}", table.render());
-    for (policy, cmp) in policies.iter().zip(&comparisons) {
-        println!("gmean speedup {}: {:+.2}%", policy.label(), cmp.gmean_speedup_percent());
-    }
-    println!("Paper reference: 4.1% (BARD-E), 3.3% (BARD-C), 4.3% (BARD-H); decisions split");
-    println!("64.7% plain LRU evictions / 4.8% overrides / 30.5% cleanses.");
+    bard_bench::experiments::run_main("fig10");
 }

@@ -1,33 +1,6 @@
 //! Figure 11: BARD-H compared against the prior proactive-writeback schemes —
 //! Eager Writeback (EW) and the Virtual Write Queue (VWQ).
 
-use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Figure 11", "BARD vs Eager Writeback vs Virtual Write Queue", &cli);
-    let policies = [
-        WritePolicyKind::BardH,
-        WritePolicyKind::EagerWriteback,
-        WritePolicyKind::VirtualWriteQueue,
-    ];
-    let variants: Vec<_> = policies.iter().map(|&p| cli.config.clone().with_policy(p)).collect();
-    let comparisons = cli.compare(&cli.config, &variants);
-
-    let mut table = Table::new(vec!["workload", "BARD %", "EW %", "VWQ %"]);
-    let speedups: Vec<_> = comparisons.iter().map(bard::Comparison::speedups_percent).collect();
-    for (wi, &w) in cli.workloads.iter().enumerate() {
-        let mut row = vec![w.name().to_string()];
-        for per_policy in &speedups {
-            row.push(format!("{:+.2}", per_policy[wi].1));
-        }
-        table.push_row(row);
-    }
-    println!("{}", table.render());
-    for (policy, cmp) in policies.iter().zip(&comparisons) {
-        println!("gmean speedup {}: {:+.2}%", policy.label(), cmp.gmean_speedup_percent());
-    }
-    println!("Paper reference: BARD +4.3%, EW -0.5%, VWQ -0.3%.");
+    bard_bench::experiments::run_main("fig11");
 }

@@ -1,43 +1,6 @@
 //! Figure 14: write bank-level parallelism (top) and time spent writing
 //! (bottom) for the baseline, BARD, and the idealised write system.
 
-use bard::report::Table;
-use bard::{RunResult, WritePolicyKind};
-use bard_bench::harness::{mean_of, print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Figure 14", "Write BLP and time spent writing: baseline vs BARD vs ideal", &cli);
-    let bard_cfg = cli.config.clone().with_policy(WritePolicyKind::BardH);
-    let ideal_cfg = {
-        let mut c = cli.config.clone();
-        c.dram = c.dram.clone().ideal();
-        c
-    };
-    let mut grid = cli.run_grid(&[cli.config.clone(), bard_cfg, ideal_cfg]);
-    let ideal = grid.pop().expect("ideal results");
-    let bard = grid.pop().expect("bard results");
-    let base = grid.pop().expect("baseline results");
-    let mut table =
-        Table::new(vec!["workload", "BLP base", "BLP BARD", "W% base", "W% BARD", "W% ideal"]);
-    for ((b, x), i) in base.iter().zip(&bard).zip(&ideal) {
-        table.push_row(vec![
-            b.workload.name().to_string(),
-            format!("{:.1}", b.write_blp()),
-            format!("{:.1}", x.write_blp()),
-            format!("{:.1}", b.write_time_fraction() * 100.0),
-            format!("{:.1}", x.write_time_fraction() * 100.0),
-            format!("{:.1}", i.write_time_fraction() * 100.0),
-        ]);
-    }
-    table.push_row(vec![
-        "mean".to_string(),
-        format!("{:.1}", mean_of(&base, RunResult::write_blp)),
-        format!("{:.1}", mean_of(&bard, RunResult::write_blp)),
-        format!("{:.1}", mean_of(&base, RunResult::write_time_fraction) * 100.0),
-        format!("{:.1}", mean_of(&bard, RunResult::write_time_fraction) * 100.0),
-        format!("{:.1}", mean_of(&ideal, RunResult::write_time_fraction) * 100.0),
-    ]);
-    println!("{}", table.render());
-    println!("Paper reference: BLP 22.1 -> 28.8; W% 33.0 -> 29.3 (ideal 24.1).");
+    bard_bench::experiments::run_main("fig14");
 }

@@ -2,47 +2,6 @@
 //! replacement. Each BARD result is normalised to a baseline using the same
 //! replacement policy.
 
-use bard::experiment::Comparison;
-use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
-use bard_cache::ReplacementKind;
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Figure 15", "BARD under LRU / SRRIP / SHiP replacement", &cli);
-    let replacements = [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Ship];
-    // One grid of (baseline, BARD) per replacement policy — six configs, all
-    // simulated in parallel.
-    let configs: Vec<_> = replacements
-        .iter()
-        .flat_map(|&repl| {
-            let base = cli.config.clone().with_replacement(repl);
-            let bard = base.clone().with_policy(WritePolicyKind::BardH);
-            [base, bard]
-        })
-        .collect();
-    let mut grid = cli.run_grid(&configs).into_iter();
-    let comparisons: Vec<Comparison> = replacements
-        .iter()
-        .map(|&repl| {
-            let base = grid.next().expect("baseline results");
-            let bard = grid.next().expect("bard results");
-            Comparison::from_results(format!("bard-h/{}", repl.name()), base, bard)
-        })
-        .collect();
-    let mut table = Table::new(vec!["workload", "BARD (LRU) %", "BARD (SRRIP) %", "BARD (SHiP) %"]);
-    let speedups: Vec<_> = comparisons.iter().map(Comparison::speedups_percent).collect();
-    for (wi, &w) in cli.workloads.iter().enumerate() {
-        let mut row = vec![w.name().to_string()];
-        for per_repl in &speedups {
-            row.push(format!("{:+.2}", per_repl[wi].1));
-        }
-        table.push_row(row);
-    }
-    println!("{}", table.render());
-    for (repl, cmp) in replacements.iter().zip(&comparisons) {
-        println!("gmean speedup with {}: {:+.2}%", repl.name(), cmp.gmean_speedup_percent());
-    }
-    println!("Paper reference: 4.3% (LRU), 5.0% (SRRIP), 4.9% (SHiP).");
+    bard_bench::experiments::run_main("fig15");
 }

@@ -1,40 +1,6 @@
 //! Figure 17: speedup of the baseline and BARD for write-queue capacities of
 //! 32, 48, 64, 96 and 128 entries, normalised to the 48-entry baseline.
 
-use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Figure 17", "Write-queue capacity sweep", &cli);
-    let entries_sweep = [32usize, 48, 64, 96, 128];
-    let policies = [WritePolicyKind::Baseline, WritePolicyKind::BardH];
-    // The 48-entry baseline is the normalisation reference; it is simulated
-    // once, and every (capacity x policy) variant joins it in one parallel
-    // grid.
-    let variants: Vec<_> = entries_sweep
-        .iter()
-        .flat_map(|&entries| {
-            policies.map(|policy| {
-                let mut cfg = cli.config.clone().with_policy(policy);
-                cfg.dram = cfg.dram.clone().with_write_queue_entries(entries);
-                cfg
-            })
-        })
-        .collect();
-    let comparisons = cli.compare(&cli.config, &variants);
-    let mut table = Table::new(vec!["WQ entries", "baseline gmean (%)", "BARD gmean (%)"]);
-    for (i, entries) in entries_sweep.iter().enumerate() {
-        let mut row = vec![entries.to_string()];
-        for pi in 0..policies.len() {
-            row.push(format!(
-                "{:+.1}",
-                comparisons[i * policies.len() + pi].gmean_speedup_percent()
-            ));
-        }
-        table.push_row(row);
-    }
-    println!("{}", table.render());
-    println!("Paper reference: baseline -6.2/0.0/3.3/8.1/10.7%, BARD 0.4/4.3/7.0/10.0/11.7%.");
+    bard_bench::experiments::run_main("fig17");
 }

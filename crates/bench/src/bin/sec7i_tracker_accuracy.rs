@@ -2,27 +2,6 @@
 //! that actually has a pending write in one of the memory controller's write
 //! queues.
 
-use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Section VII-I", "BLP-Tracker decision accuracy", &cli);
-    let bard_cfg = cli.config.clone().with_policy(WritePolicyKind::BardH);
-    let results = cli.run(&bard_cfg);
-    let mut table = Table::new(vec!["workload", "decisions", "incorrect (%)"]);
-    let mut fractions = Vec::new();
-    for r in &results {
-        let p = &r.policy_stats;
-        fractions.push(p.incorrect_decision_fraction());
-        table.push_row(vec![
-            r.workload.name().to_string(),
-            p.checked_decisions.to_string(),
-            format!("{:.1}", p.incorrect_decision_fraction() * 100.0),
-        ]);
-    }
-    let mean = fractions.iter().sum::<f64>() / fractions.len().max(1) as f64;
-    println!("{}", table.render());
-    println!("Mean incorrect-decision rate: {:.1}% (paper reports 30.3%).", mean * 100.0);
+    bard_bench::experiments::run_main("sec7i");
 }

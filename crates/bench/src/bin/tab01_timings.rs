@@ -1,40 +1,5 @@
 //! Table I: DDR5-4800 x4 timing constraints used throughout the paper.
 
-use bard::report::Table;
-use bard_dram::timing::{dram_cycles_to_ns, TimingParams};
-
 fn main() {
-    let t = TimingParams::ddr5_4800_x4();
-    let x8 = TimingParams::ddr5_4800_x8();
-    let mut table = Table::new(vec!["Name", "Description", "Time (ns)", "Cycles"]);
-    let mut row = |name: &str, desc: &str, cycles: u64| {
-        table.push_row(vec![
-            name.to_string(),
-            desc.to_string(),
-            format!("{:.1}", dram_cycles_to_ns(cycles)),
-            cycles.to_string(),
-        ]);
-    };
-    row("CL", "Read Latency", t.cl);
-    row("CWL", "Write Latency", t.cwl);
-    row("tRCD", "Activate-to-RW Latency", t.t_rcd);
-    row("tRP", "Precharge-to-Activate Latency", t.t_rp);
-    row("tRAS", "Activate-to-Precharge Latency", t.t_ras);
-    row("tWR", "Write-to-Precharge Latency", t.t_wr);
-    row("BL/2", "Time to send 64B across data bus", t.burst);
-    row("tCCD_S_WR", "Write-to-Write Delay (Diff.)", t.t_ccd_s_wr);
-    row("tCCD_L_WR", "Write-to-Write Delay (Same)", t.t_ccd_l_wr);
-    println!("Table I: DRAM timing (DDR5 4800B x4 devices)\n");
-    println!("{}", table.render());
-    println!(
-        "x8 devices: tCCD_L_WR = {} cycles ({:.1} ns) — Section VII-D",
-        x8.t_ccd_l_wr,
-        dram_cycles_to_ns(x8.t_ccd_l_wr)
-    );
-    println!(
-        "Same-bank row-buffer-conflict write-to-write chain: {} cycles ({:.1} ns), {:.1}x the minimum",
-        t.write_conflict_chain(),
-        dram_cycles_to_ns(t.write_conflict_chain()),
-        t.write_conflict_chain() as f64 / t.t_ccd_s_wr as f64
-    );
+    bard_bench::experiments::run_main("tab01");
 }

@@ -2,17 +2,6 @@
 //! instruction (MPKI), write-backs per kilo instruction (WPKI), write
 //! bank-level parallelism (WBLP) and time spent writing (W%).
 
-use bard::report::{characterisation_row, Table};
-use bard_bench::harness::{print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Table IV", "Workload characteristics (baseline)", &cli);
-    let mut table = Table::new(vec!["workload", "MPKI", "WPKI", "WBLP", "W%"]);
-    for result in cli.run(&cli.config) {
-        table.push_row(characterisation_row(&result));
-    }
-    println!("{}", table.render());
-    println!("Compare against Table IV of the paper (absolute values differ; ordering and");
-    println!("write intensity are the quantities the BARD study depends on).");
+    bard_bench::experiments::run_main("tab04");
 }

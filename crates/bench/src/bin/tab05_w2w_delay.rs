@@ -1,30 +1,6 @@
 //! Table V: mean and maximum write-to-write delay for the baseline, BARD and
 //! the idealised write system.
 
-use bard::report::Table;
-use bard::{RunResult, WritePolicyKind};
-use bard_bench::harness::{mean_of, print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Table V", "Write-to-write delay", &cli);
-    let bard_cfg = cli.config.clone().with_policy(WritePolicyKind::BardH);
-    let ideal_cfg = {
-        let mut c = cli.config.clone();
-        c.dram = c.dram.clone().ideal();
-        c
-    };
-    let names = ["Baseline", "BARD", "Ideal"];
-    let grid = cli.run_grid(&[cli.config.clone(), bard_cfg, ideal_cfg]);
-    let mut table = Table::new(vec!["Design", "Average Latency (ns)", "Max Latency (ns)"]);
-    for (name, results) in names.iter().zip(&grid) {
-        let max = results.iter().map(RunResult::mean_write_to_write_ns).fold(0.0f64, f64::max);
-        table.push_row(vec![
-            (*name).to_string(),
-            format!("{:.1}", mean_of(results, RunResult::mean_write_to_write_ns)),
-            format!("{max:.1}"),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("Paper reference: baseline 5.0/5.7 ns, BARD 4.2/5.0 ns, ideal 3.3/3.3 ns.");
+    bard_bench::experiments::run_main("tab05");
 }

@@ -1,42 +1,6 @@
 //! Table VI: relative performance of the baseline, BARD and the ideal write
 //! system on x4 and x8 DDR5 devices, normalised to the x4 baseline.
 
-use bard::experiment::Comparison;
-use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
-use bard_dram::DramConfig;
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Table VI", "Relative performance with x4 and x8 devices", &cli);
-    let make = |dram: DramConfig, policy: WritePolicyKind, ideal: bool| {
-        let mut cfg = cli.config.clone().with_policy(policy);
-        cfg.dram = if ideal { dram.ideal() } else { dram };
-        cfg
-    };
-    let systems = [
-        ("Baseline x4", make(DramConfig::ddr5_4800_x4(), WritePolicyKind::Baseline, false)),
-        ("BARD x4", make(DramConfig::ddr5_4800_x4(), WritePolicyKind::BardH, false)),
-        ("Ideal x4", make(DramConfig::ddr5_4800_x4(), WritePolicyKind::Baseline, true)),
-        ("Baseline x8", make(DramConfig::ddr5_4800_x8(), WritePolicyKind::Baseline, false)),
-        ("BARD x8", make(DramConfig::ddr5_4800_x8(), WritePolicyKind::BardH, false)),
-        ("Ideal x8", make(DramConfig::ddr5_4800_x8(), WritePolicyKind::Baseline, true)),
-    ];
-    // The Baseline x4 runs are the normalisation reference; the entire
-    // 6-system grid (reference simulated once) runs in parallel.
-    let variants: Vec<_> = systems.iter().map(|(_, cfg)| cfg.clone()).collect();
-    let comparisons = Comparison::run_many_on(
-        &cli.runner(),
-        &systems[0].1,
-        &variants,
-        &cli.workloads,
-        cli.length,
-    );
-    let mut table = Table::new(vec!["System", "gmean speedup vs x4 baseline (%)"]);
-    for ((name, _), cmp) in systems.iter().zip(&comparisons) {
-        table.push_row(vec![(*name).to_string(), format!("{:+.1}", cmp.gmean_speedup_percent())]);
-    }
-    println!("{}", table.render());
-    println!("Paper reference (x4/x8): baseline 0.0%/2.1%, BARD 4.3%/7.1%, ideal 14.5%/14.5%.");
+    bard_bench::experiments::run_main("tab06");
 }

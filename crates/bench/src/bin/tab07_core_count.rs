@@ -1,27 +1,6 @@
 //! Table VII: BARD's gmean and maximum speedup on the 8-core and 16-core
 //! systems (16 cores use a 32 MiB LLC and two DDR5 channels).
 
-use bard::experiment::Comparison;
-use bard::report::Table;
-use bard::{SystemConfig, WritePolicyKind};
-use bard_bench::harness::{print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Table VII", "BARD speedup on 8- and 16-core systems", &cli);
-    let mut table = Table::new(vec!["Core Count", "Gmean (%)", "Max (%)"]);
-    for (label, base_cfg) in
-        [("8", SystemConfig::baseline_8core()), ("16", SystemConfig::baseline_16core())]
-    {
-        let bard_cfg = base_cfg.clone().with_policy(WritePolicyKind::BardH);
-        let cmp =
-            Comparison::run_on(&cli.runner(), &base_cfg, &bard_cfg, &cli.workloads, cli.length);
-        table.push_row(vec![
-            label.to_string(),
-            format!("{:.1}", cmp.gmean_speedup_percent()),
-            format!("{:.1}", cmp.max_speedup_percent()),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("Paper reference: 8-core 4.2%/8.8%, 16-core 5.1%/11.1%.");
+    bard_bench::experiments::run_main("tab07");
 }

@@ -2,42 +2,6 @@
 //! synchronisation broadcasts, extrapolated to a 128-core / 8-channel server
 //! the way Section VII-H does (16x the 8-core system's write traffic).
 
-use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
-use bard_dram::timing::cpu_cycles_to_ns;
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Table VIII", "BARD bandwidth overheads (128-core extrapolation)", &cli);
-    let bard_cfg = cli.config.clone().with_policy(WritePolicyKind::BardH);
-    let mut wb_rates = Vec::new();
-    for r in cli.run(&bard_cfg) {
-        let seconds = cpu_cycles_to_ns(r.total_cycles) * 1e-9;
-        if seconds > 0.0 {
-            // Write-backs per second in the simulated 8-core system, scaled by
-            // 16 for the 128-core extrapolation.
-            wb_rates.push(r.policy_stats.writebacks as f64 / seconds * 16.0);
-        }
-    }
-    let mean_rate = wb_rates.iter().sum::<f64>() / wb_rates.len().max(1) as f64;
-    let max_rate = wb_rates.iter().copied().fold(0.0f64, f64::max);
-    let gbps = |rate: f64, bits_per_event: f64| rate * bits_per_event / 8.0 / 1e9;
-    let mut table = Table::new(vec!["Purpose", "Packet Size", "Mean (GB/s)", "Max (GB/s)"]);
-    table.push_row(vec![
-        "Writeback".to_string(),
-        "70B = 560b".to_string(),
-        format!("{:.1}", gbps(mean_rate, 560.0)),
-        format!("{:.1}", gbps(max_rate, 560.0)),
-    ]);
-    table.push_row(vec![
-        "Synchronization".to_string(),
-        "9b".to_string(),
-        format!("{:.1}", gbps(mean_rate, 9.0)),
-        format!("{:.1}", gbps(max_rate, 9.0)),
-    ]);
-    println!("{}", table.render());
-    let overhead = 9.0 / 560.0 * 100.0;
-    println!("Synchronisation adds {overhead:.1}% to write-back bandwidth (paper: ~1.6%).");
-    println!("Paper reference: write-backs 153.9/281.3 GB/s, synchronisation 2.5/4.5 GB/s.");
+    bard_bench::experiments::run_main("tab08");
 }

@@ -1,37 +1,6 @@
 //! Table IX: DRAM power, energy and energy-delay product of BARD and the
 //! Virtual Write Queue, normalised to the baseline.
 
-use bard::report::Table;
-use bard::{geomean, WritePolicyKind};
-use bard_bench::harness::{print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Table IX", "DRAM power, energy and EDP normalised to baseline", &cli);
-    let systems = [("BARD", WritePolicyKind::BardH), ("VWQ", WritePolicyKind::VirtualWriteQueue)];
-    let variants: Vec<_> =
-        systems.iter().map(|&(_, p)| cli.config.clone().with_policy(p)).collect();
-    // One grid; the baseline runs once and is shared by both comparisons.
-    let comparisons = cli.compare(&cli.config, &variants);
-    let mut table = Table::new(vec!["System", "Power", "Energy", "EDP"]);
-    for ((name, _), cmp) in systems.iter().zip(&comparisons) {
-        let mut power = Vec::new();
-        let mut energy = Vec::new();
-        let mut edp = Vec::new();
-        for (base, r) in cmp.baseline.iter().zip(&cmp.test) {
-            if base.mean_dram_power_mw() > 0.0 {
-                power.push(r.mean_dram_power_mw() / base.mean_dram_power_mw());
-                energy.push(r.dram_energy_pj() / base.dram_energy_pj());
-                edp.push(r.dram_edp() / base.dram_edp());
-            }
-        }
-        table.push_row(vec![
-            (*name).to_string(),
-            format!("{:.3}", geomean(&power)),
-            format!("{:.3}", geomean(&energy)),
-            format!("{:.3}", geomean(&edp)),
-        ]);
-    }
-    println!("{}", table.render());
-    println!("Paper reference: BARD 1.06/1.015/0.970, VWQ 0.989/0.993/0.995.");
+    bard_bench::experiments::run_main("tab09");
 }

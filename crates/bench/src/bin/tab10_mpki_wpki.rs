@@ -1,38 +1,6 @@
 //! Table X: change in LLC misses and write-backs under BARD relative to the
 //! baseline (mean and worst case over workloads).
 
-use bard::report::Table;
-use bard::WritePolicyKind;
-use bard_bench::harness::{print_header, Cli};
-
 fn main() {
-    let cli = Cli::parse();
-    print_header("Table X", "Misses and write-backs relative to baseline", &cli);
-    let bard_cfg = cli.config.clone().with_policy(WritePolicyKind::BardH);
-    let cmp = cli.compare(&cli.config, std::slice::from_ref(&bard_cfg)).remove(0);
-    let mut miss_delta = Vec::new();
-    let mut wb_delta = Vec::new();
-    for (base, bard) in cmp.baseline.iter().zip(&cmp.test) {
-        if base.mpki() > 0.0 {
-            miss_delta.push((bard.mpki() / base.mpki() - 1.0) * 100.0);
-        }
-        if base.wpki() > 0.0 {
-            wb_delta.push((bard.wpki() / base.wpki() - 1.0) * 100.0);
-        }
-    }
-    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    let max = |v: &Vec<f64>| v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mut table = Table::new(vec!["Metric", "Mean (%)", "Max (%)"]);
-    table.push_row(vec![
-        "Misses".to_string(),
-        format!("{:+.1}", mean(&miss_delta)),
-        format!("{:+.1}", max(&miss_delta)),
-    ]);
-    table.push_row(vec![
-        "Writebacks".to_string(),
-        format!("{:+.1}", mean(&wb_delta)),
-        format!("{:+.1}", max(&wb_delta)),
-    ]);
-    println!("{}", table.render());
-    println!("Paper reference: misses 0.0% mean / 1.3% max, write-backs 2.7% mean / 8.5% max.");
+    bard_bench::experiments::run_main("tab10");
 }

@@ -1,5 +1,5 @@
-//! Shared command-line handling and grid-driving helpers for the per-figure
-//! experiment binaries.
+//! Shared command-line handling, grid-driving and artifact-emission helpers
+//! for the per-figure experiment binaries.
 //!
 //! Every binary accepts the same flags:
 //!
@@ -9,17 +9,51 @@
 //! * `--cores=N`: override the core count (scales the run to `small` sizes
 //!   when N <= 2, useful for smoke-testing a binary),
 //! * `--jobs=N`: simulation worker threads (default: `BARD_JOBS` or all
-//!   host cores; `--jobs=1` forces the serial path).
+//!   host cores; `--jobs=1` forces the serial path),
+//! * `--format=text|json|csv`: stdout format (default `text`, byte-identical
+//!   to the historical output),
+//! * `--out=DIR`: additionally write `DIR/<experiment>.json` and
+//!   `DIR/<experiment>.csv` artifacts (see `docs/RESULTS.md` for the schema).
 //!
 //! The driving helpers ([`Cli::run`], [`Cli::run_grid`], [`Cli::compare`])
-//! execute the whole `(configs x workloads)` grid on the
-//! [`Runner`](bard::runner::Runner) so binaries never hand-roll serial
-//! simulation loops.
+//! execute the whole `(configs x workloads)` grid on the [`Runner`] so
+//! binaries never hand-roll serial simulation loops.
+
+use std::path::{Path, PathBuf};
 
 use bard::experiment::{run_workloads_on, Comparison, RunLength};
+use bard::report::{Artifact, Provenance};
 use bard::runner::{Job, Runner};
 use bard::{RunResult, SystemConfig};
 use bard_workloads::WorkloadId;
+
+/// What an experiment binary writes to stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// The historical fixed-width text (default).
+    #[default]
+    Text,
+    /// The artifact as pretty-printed JSON.
+    Json,
+    /// The artifact as tidy CSV.
+    Csv,
+}
+
+impl OutputFormat {
+    /// Parses a `--format=` value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised name.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "text" => Ok(Self::Text),
+            "json" => Ok(Self::Json),
+            "csv" => Ok(Self::Csv),
+            other => Err(other.to_string()),
+        }
+    }
+}
 
 /// Parsed command-line options shared by all experiment binaries.
 #[derive(Debug, Clone)]
@@ -32,6 +66,10 @@ pub struct Cli {
     pub config: SystemConfig,
     /// Simulation worker threads (`0` = auto).
     pub jobs: usize,
+    /// Stdout format.
+    pub format: OutputFormat,
+    /// Artifact output directory (`--out=DIR`), if any.
+    pub out: Option<PathBuf>,
 }
 
 impl Cli {
@@ -56,6 +94,8 @@ impl Cli {
         let mut workloads = WorkloadId::all();
         let mut config = SystemConfig::baseline_8core();
         let mut jobs = 0;
+        let mut format = OutputFormat::Text;
+        let mut out = None;
         for arg in args {
             if arg == "--test" {
                 length = RunLength::test();
@@ -81,6 +121,11 @@ impl Cli {
                 config.cores = cores;
             } else if let Some(n) = arg.strip_prefix("--jobs=") {
                 jobs = n.parse().expect("--jobs=N needs a number");
+            } else if let Some(name) = arg.strip_prefix("--format=") {
+                format = OutputFormat::from_name(name)
+                    .unwrap_or_else(|name| panic!("unknown format '{name}' (text|json|csv)"));
+            } else if let Some(dir) = arg.strip_prefix("--out=") {
+                out = Some(PathBuf::from(dir));
             } else if arg == "--help" || arg == "-h" {
                 print_usage();
                 std::process::exit(0);
@@ -89,7 +134,7 @@ impl Cli {
                 panic!("unknown argument '{arg}'");
             }
         }
-        Self { length, workloads, config, jobs }
+        Self { length, workloads, config, jobs, format, out }
     }
 
     /// The runner configured by `--jobs` (auto-sized when the flag is
@@ -97,6 +142,21 @@ impl Cli {
     #[must_use]
     pub fn runner(&self) -> Runner {
         Runner::new(self.jobs)
+    }
+
+    /// The provenance record every artifact produced under this CLI carries:
+    /// baseline configuration, run length, workload list, worker threads and
+    /// the git revision of the tree.
+    #[must_use]
+    pub fn provenance(&self) -> Provenance {
+        let workloads: Vec<String> = self.workloads.iter().map(|w| w.name().to_string()).collect();
+        Provenance::new(
+            self.config.label(),
+            self.config.cores,
+            &workloads,
+            self.length,
+            self.runner().threads(),
+        )
     }
 
     /// Runs one configuration over the CLI workload set, in parallel.
@@ -129,23 +189,66 @@ impl Cli {
 fn print_usage() {
     eprintln!(
         "usage: <experiment> [--test|--quick|--standard] [--singles|--mixes] \
-         [--workloads=a,b,c] [--cores=N] [--jobs=N]"
+         [--workloads=a,b,c] [--cores=N] [--jobs=N] [--format=text|json|csv] [--out=DIR]"
     );
 }
 
-/// Prints a standard experiment header.
-pub fn print_header(id: &str, title: &str, cli: &Cli) {
-    println!("==============================================================");
-    println!("{id}: {title}");
-    println!(
-        "cores={} policy-baseline={} workloads={} measure={} instr/core jobs={}",
-        cli.config.cores,
-        cli.config.label(),
-        cli.workloads.len(),
-        cli.length.measure,
-        cli.runner().threads(),
-    );
-    println!("==============================================================");
+/// Writes `DIR/<id>.json` and `DIR/<id>.csv` for an artifact, creating the
+/// directory if needed, and returns the two file names (relative to `dir`).
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the writes.
+pub fn write_artifact_files(dir: &Path, artifact: &Artifact) -> std::io::Result<(String, String)> {
+    std::fs::create_dir_all(dir)?;
+    let json_name = format!("{}.json", artifact.id);
+    let csv_name = format!("{}.csv", artifact.id);
+    let mut json_text = artifact.to_json().render();
+    json_text.push('\n');
+    std::fs::write(dir.join(&json_name), json_text)?;
+    std::fs::write(dir.join(&csv_name), artifact.to_csv())?;
+    Ok((json_name, csv_name))
+}
+
+/// Builds and writes the artifact of a comparison-shaped example program:
+/// provenance from `config`/`length`/the default runner, an optional result
+/// table, baseline records from the first comparison, then per-comparison
+/// test records and deltas. Returns the two file names relative to `dir`.
+///
+/// The `examples/` programs share this so a schema change is one edit, not
+/// four.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory creation or the writes.
+#[allow(clippy::too_many_arguments)] // flat mirror of an example's locals
+pub fn write_example_artifact(
+    dir: &Path,
+    id: &str,
+    display: &str,
+    title: &str,
+    config: &SystemConfig,
+    workloads: &[WorkloadId],
+    length: RunLength,
+    table: Option<bard::report::Table>,
+    comparisons: &[Comparison],
+) -> std::io::Result<(String, String)> {
+    let names: Vec<String> = workloads.iter().map(|w| w.name().to_string()).collect();
+    let provenance =
+        Provenance::new(config.label(), config.cores, &names, length, Runner::default().threads());
+    let mut artifact = Artifact::new(id, display, title, provenance);
+    if let Some(table) = table {
+        artifact.table("main", table);
+    }
+    if let Some(first) = comparisons.first() {
+        artifact.records_from(&first.baseline);
+    }
+    for cmp in comparisons {
+        artifact.records_from(&cmp.test);
+        artifact.delta_from(cmp);
+    }
+    artifact.finish();
+    write_artifact_files(dir, &artifact)
 }
 
 /// Mean of a metric over a slice of results (0 when empty).
@@ -167,6 +270,8 @@ mod tests {
         assert_eq!(cli.workloads.len(), 29);
         assert_eq!(cli.config.cores, 8);
         assert_eq!(cli.jobs, 0);
+        assert_eq!(cli.format, OutputFormat::Text);
+        assert!(cli.out.is_none());
         assert!(cli.runner().threads() >= 1);
     }
 
@@ -181,12 +286,37 @@ mod tests {
     }
 
     #[test]
+    fn output_flags_are_parsed() {
+        let cli = Cli::from_args(
+            ["--format=json".to_string(), "--out=results/run1".to_string()].into_iter(),
+        );
+        assert_eq!(cli.format, OutputFormat::Json);
+        assert_eq!(cli.out.as_deref(), Some(Path::new("results/run1")));
+        assert_eq!(OutputFormat::from_name("csv"), Ok(OutputFormat::Csv));
+        assert!(OutputFormat::from_name("yaml").is_err());
+    }
+
+    #[test]
     fn jobs_flag_sizes_the_runner() {
         let cli = Cli::from_args(["--jobs=3".to_string()].into_iter());
         assert_eq!(cli.jobs, 3);
         assert_eq!(cli.runner().threads(), 3);
         let cli = Cli::from_args(["--jobs=1".to_string()].into_iter());
         assert_eq!(cli.runner().threads(), 1);
+    }
+
+    #[test]
+    fn provenance_reflects_cli() {
+        let cli = Cli::from_args(
+            ["--test".to_string(), "--workloads=lbm".to_string(), "--jobs=2".to_string()]
+                .into_iter(),
+        );
+        let p = cli.provenance();
+        assert_eq!(p.config_label, cli.config.label());
+        assert_eq!(p.cores, 2);
+        assert_eq!(p.workloads, ["lbm"]);
+        assert_eq!(p.run_length, RunLength::test());
+        assert_eq!(p.jobs, 2);
     }
 
     #[test]
@@ -199,6 +329,12 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_flag_panics() {
         let _ = Cli::from_args(["--frobnicate".to_string()].into_iter());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown format")]
+    fn unknown_format_panics() {
+        let _ = Cli::from_args(["--format=yaml".to_string()].into_iter());
     }
 
     #[test]

@@ -1,0 +1,268 @@
+//! The one-command reproduction driver behind the `repro` binary.
+//!
+//! [`run_suite`] executes a selection of registered [`Experiment`]s on the
+//! shared [`Cli`] runner, isolates panics per experiment (one broken figure
+//! does not lose the rest of a long run), writes per-experiment JSON/CSV
+//! artifacts when `--out=DIR` is given, and aggregates everything into a
+//! [`Summary`] — the in-memory form of the `summary.json` document described
+//! by [`schema::SUMMARY_FIELDS`] and `docs/RESULTS.md`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+use bard::report::{round3, run_length_json, schema, Delta, Json, Provenance};
+
+use crate::experiments::{Experiment, ALL};
+use crate::harness::{write_artifact_files, Cli};
+
+/// What happened to one experiment during a suite run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Experiment id ("fig10").
+    pub id: String,
+    /// Combined display name and title ("Figure 10: ...").
+    pub title: String,
+    /// Panic message if the experiment failed, `None` on success.
+    pub error: Option<String>,
+    /// Wall-clock seconds spent on this experiment.
+    pub wall_clock_seconds: f64,
+    /// JSON artifact file name (relative to `--out`), when written.
+    pub artifact_json: Option<String>,
+    /// CSV artifact file name (relative to `--out`), when written.
+    pub artifact_csv: Option<String>,
+    /// Number of per-run records in the artifact.
+    pub records: usize,
+    /// Baseline-vs-variant summaries of the artifact.
+    pub deltas: Vec<Delta>,
+}
+
+impl ExperimentOutcome {
+    /// True when the experiment completed without panicking.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(&self.id)),
+            ("title", Json::str(&self.title)),
+            ("status", Json::str(if self.ok() { "ok" } else { "failed" })),
+            ("error", self.error.as_deref().map_or(Json::Null, Json::str)),
+            ("wall_clock_seconds", Json::num(round3(self.wall_clock_seconds))),
+            ("artifact_json", self.artifact_json.as_deref().map_or(Json::Null, Json::str)),
+            ("artifact_csv", self.artifact_csv.as_deref().map_or(Json::Null, Json::str)),
+            ("records", Json::num(self.records as f64)),
+            ("deltas", Json::Arr(self.deltas.iter().map(Delta::to_json).collect())),
+        ])
+    }
+}
+
+/// The aggregate result of a suite run: shared provenance plus one
+/// [`ExperimentOutcome`] per attempted experiment.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Provenance shared by the whole suite (baseline config, run length,
+    /// workloads, jobs, git revision); `wall_clock_seconds` covers the run.
+    pub provenance: Provenance,
+    /// One outcome per experiment, in execution order.
+    pub outcomes: Vec<ExperimentOutcome>,
+}
+
+impl Summary {
+    /// Number of experiments that panicked.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.ok()).count()
+    }
+
+    /// Serializes to the `summary.json` document of
+    /// [`schema::SUMMARY_FIELDS`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::num(schema::SCHEMA_VERSION as f64)),
+            ("suite", Json::str("bard-hpca2026-repro")),
+            ("config_label", Json::str(&self.provenance.config_label)),
+            ("cores", Json::num(self.provenance.cores as f64)),
+            ("run_length", run_length_json(self.provenance.run_length)),
+            ("workloads", Json::Arr(self.provenance.workloads.iter().map(Json::str).collect())),
+            ("jobs", Json::num(self.provenance.jobs as f64)),
+            ("git_describe", self.provenance.git_describe.as_deref().map_or(Json::Null, Json::str)),
+            ("wall_clock_seconds", Json::num(round3(self.provenance.wall_clock_seconds))),
+            ("total", Json::num(self.outcomes.len() as f64)),
+            ("failed", Json::num(self.failed() as f64)),
+            (
+                "experiments",
+                Json::Arr(self.outcomes.iter().map(ExperimentOutcome::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Resolves an `--only=fig10,tab06` selection against the registry, keeping
+/// registry order and ignoring duplicates. `None` selects every experiment.
+///
+/// # Errors
+///
+/// Returns a message naming the first unknown id and listing the valid ones.
+pub fn select(only: Option<&str>) -> Result<Vec<&'static Experiment>, String> {
+    let Some(list) = only else {
+        return Ok(ALL.iter().collect());
+    };
+    let mut wanted = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        match crate::experiments::find(name) {
+            Some(e) => {
+                if !wanted.iter().any(|w: &&Experiment| w.id == e.id) {
+                    wanted.push(e);
+                }
+            }
+            None => {
+                let valid: Vec<_> = ALL.iter().map(|e| e.id).collect();
+                return Err(format!("unknown experiment '{name}' (valid: {})", valid.join(", ")));
+            }
+        }
+    }
+    if wanted.is_empty() {
+        return Err("--only= selected no experiments".to_string());
+    }
+    wanted.sort_by_key(|e| ALL.iter().position(|x| x.id == e.id));
+    Ok(wanted)
+}
+
+/// Runs `selected` experiments on the CLI's shared runner, calling
+/// `progress` after each one, writing artifacts (and finally
+/// `summary.json`) into `cli.out` when set. Each experiment runs under
+/// [`catch_unwind`], so one panicking figure is reported in the summary
+/// instead of aborting the suite.
+///
+/// # Panics
+///
+/// Panics only if artifact or summary files cannot be written.
+pub fn run_suite(
+    cli: &Cli,
+    selected: &[&'static Experiment],
+    mut progress: impl FnMut(usize, usize, &ExperimentOutcome),
+) -> Summary {
+    let started = Instant::now();
+    let mut provenance = cli.provenance();
+    let mut outcomes = Vec::with_capacity(selected.len());
+    for (index, experiment) in selected.iter().enumerate() {
+        let exp_started = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| experiment.run_to_artifact(cli)));
+        let mut outcome = match &result {
+            Ok(artifact) => ExperimentOutcome {
+                id: artifact.id.clone(),
+                title: format!("{}: {}", artifact.display, artifact.title),
+                error: None,
+                wall_clock_seconds: artifact.provenance.wall_clock_seconds,
+                artifact_json: None,
+                artifact_csv: None,
+                records: artifact.records.len(),
+                deltas: artifact.deltas.clone(),
+            },
+            Err(payload) => ExperimentOutcome {
+                id: experiment.id.to_string(),
+                title: format!("{}: {}", experiment.display, experiment.title),
+                error: Some(panic_message(payload.as_ref())),
+                wall_clock_seconds: exp_started.elapsed().as_secs_f64(),
+                artifact_json: None,
+                artifact_csv: None,
+                records: 0,
+                deltas: Vec::new(),
+            },
+        };
+        if let (Some(dir), Ok(artifact)) = (&cli.out, &result) {
+            let (json_name, csv_name) = write_artifact_files(dir, artifact)
+                .unwrap_or_else(|e| panic!("cannot write artifacts to {}: {e}", dir.display()));
+            outcome.artifact_json = Some(json_name);
+            outcome.artifact_csv = Some(csv_name);
+        }
+        progress(index + 1, selected.len(), &outcome);
+        outcomes.push(outcome);
+    }
+    provenance.wall_clock_seconds = started.elapsed().as_secs_f64();
+    let summary = Summary { provenance, outcomes };
+    if let Some(dir) = &cli.out {
+        let mut text = summary.to_json().render();
+        text.push('\n');
+        std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(dir.join("summary.json"), text))
+            .unwrap_or_else(|e| panic!("cannot write summary.json to {}: {e}", dir.display()));
+    }
+    summary
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_defaults_to_all() {
+        assert_eq!(select(None).unwrap().len(), ALL.len());
+    }
+
+    #[test]
+    fn select_keeps_registry_order_and_dedups() {
+        let picked = select(Some("tab06,fig10,tab06")).unwrap();
+        let ids: Vec<_> = picked.iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["fig10", "tab06"]);
+    }
+
+    #[test]
+    fn select_accepts_binary_names() {
+        let picked = select(Some("fig10_bard_variants")).unwrap();
+        assert_eq!(picked[0].id, "fig10");
+    }
+
+    #[test]
+    fn select_rejects_unknown_ids() {
+        let err = select(Some("fig10,bogus")).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        assert!(err.contains("fig10"), "error should list valid ids: {err}");
+        assert!(select(Some(" , ")).is_err());
+    }
+
+    #[test]
+    fn suite_summary_counts_failures() {
+        let provenance =
+            Provenance::new("baseline/LRU", 2, &["lbm".to_string()], bard::RunLength::test(), 1);
+        let ok = ExperimentOutcome {
+            id: "tab01".into(),
+            title: "Table I: timings".into(),
+            error: None,
+            wall_clock_seconds: 0.1,
+            artifact_json: None,
+            artifact_csv: None,
+            records: 0,
+            deltas: Vec::new(),
+        };
+        let failed =
+            ExperimentOutcome { id: "fig10".into(), error: Some("boom".into()), ..ok.clone() };
+        let summary = Summary { provenance, outcomes: vec![ok, failed] };
+        assert_eq!(summary.failed(), 1);
+        let json = summary.to_json();
+        assert_eq!(json.get("total").unwrap().as_f64(), Some(2.0));
+        assert_eq!(json.get("failed").unwrap().as_f64(), Some(1.0));
+        let statuses: Vec<_> = json
+            .get("experiments")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e.get("status").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(statuses, ["ok", "failed"]);
+    }
+}

@@ -12,7 +12,10 @@
 //!   cores, private L1D/L2, the sliced LLC, and one DDR5-4800 channel with
 //!   two sub-channels,
 //! * [`experiment`] / [`metrics`] / [`report`] — drivers and metrics for
-//!   regenerating every table and figure of the evaluation,
+//!   regenerating every table and figure of the evaluation, plus the
+//!   structured results pipeline: provenance-stamped
+//!   [`Artifact`]s serialized to JSON/CSV under the
+//!   versioned schema of [`report::schema`] (see `docs/RESULTS.md`),
 //! * [`runner`] — the parallel grid executor every multi-run driver fans out
 //!   on: a scoped `std::thread` pool that runs independent
 //!   `(configuration, workload)` simulations concurrently while returning
@@ -71,6 +74,7 @@ pub use experiment::{Comparison, RunLength};
 pub use llc::SlicedLlc;
 pub use metrics::{geomean, geomean_speedup_percent, speedup_percent, RunResult};
 pub use policy::{PolicyStats, WritePolicyKind};
+pub use report::{Artifact, Provenance, RunRecord};
 pub use runner::{Job, Runner};
 pub use system::System;
 

@@ -1,0 +1,672 @@
+//! Typed result artifacts with provenance, JSON/CSV emission and a
+//! byte-exact plain-text replay.
+//!
+//! An [`Artifact`] is the machine-readable record of one experiment run: the
+//! [`Provenance`] of the run (configuration, run length, workloads, worker
+//! threads, git revision, wall clock), the result [`Table`]s and note lines
+//! in the order the experiment produced them, plus optional per-run
+//! [`RunRecord`]s and baseline-vs-variant [`Delta`]s. The same artifact
+//! renders three ways:
+//!
+//! * [`Artifact::render_text`] — exactly the fixed-width text the experiment
+//!   binaries have always printed (the text path is byte-identical to the
+//!   pre-artifact pipeline),
+//! * [`Artifact::to_json`] — the versioned JSON document described by
+//!   [`schema`] and `docs/RESULTS.md`,
+//! * [`Artifact::to_csv`] — a tidy (long-form) CSV with one cell per line.
+//!
+//! ```
+//! use bard::report::{Artifact, Provenance, Table};
+//! use bard::RunLength;
+//!
+//! let provenance = Provenance::new("baseline/LRU", 8, &["lbm".into()], RunLength::test(), 2);
+//! let mut artifact = Artifact::new("fig99", "Figure 99", "Demo figure", provenance);
+//! artifact.banner();
+//! let mut table = Table::new(vec!["workload", "speedup %"]);
+//! table.push_row(vec!["lbm", "+4.30"]);
+//! artifact.table("main", table);
+//! artifact.note("gmean speedup: +4.30%");
+//! assert!(artifact.render_text().starts_with("====="));
+//! assert_eq!(artifact.to_json().get("experiment").unwrap().as_str(), Some("fig99"));
+//! assert!(artifact.to_csv().contains("fig99,main,lbm,speedup %,+4.30"));
+//! ```
+
+use std::time::Instant;
+
+use crate::experiment::{Comparison, RunLength};
+use crate::metrics::RunResult;
+use crate::report::json::Json;
+use crate::report::{csv, schema, Table};
+
+/// Where a run came from: everything needed to reproduce (or audit) the
+/// numbers in an artifact.
+///
+/// `config_label`/`cores` describe the *baseline CLI configuration* the
+/// experiment was invoked with — the authoritative configuration of each
+/// individual simulation is the `config_label`/`cores` pair on its
+/// [`RunRecord`], since some experiments deliberately simulate systems other
+/// than the CLI baseline (the core-count scaling and device-width tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// Label of the baseline configuration ("baseline/LRU", ...).
+    pub config_label: String,
+    /// Core count of the baseline configuration.
+    pub cores: usize,
+    /// Workload names simulated, in run order.
+    pub workloads: Vec<String>,
+    /// Warm-up and measurement lengths.
+    pub run_length: RunLength,
+    /// Worker threads of the simulation runner.
+    pub jobs: usize,
+    /// `git describe --always --dirty` of the source tree, when available.
+    pub git_describe: Option<String>,
+    /// Wall-clock seconds spent producing the artifact (stamped at emission).
+    pub wall_clock_seconds: f64,
+}
+
+impl Provenance {
+    /// Builds a provenance record, capturing the git revision of the current
+    /// working tree (if `git` is on `PATH` and the tree is a repository).
+    #[must_use]
+    pub fn new(
+        config_label: impl Into<String>,
+        cores: usize,
+        workloads: &[String],
+        run_length: RunLength,
+        jobs: usize,
+    ) -> Self {
+        Self {
+            config_label: config_label.into(),
+            cores,
+            workloads: workloads.to_vec(),
+            run_length,
+            jobs,
+            git_describe: git_describe(),
+            wall_clock_seconds: 0.0,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("config_label", Json::str(&self.config_label)),
+            ("cores", Json::num(self.cores as f64)),
+            ("run_length", run_length_json(self.run_length)),
+            ("workloads", Json::Arr(self.workloads.iter().map(Json::str).collect())),
+            ("jobs", Json::num(self.jobs as f64)),
+            ("git_describe", self.git_describe.as_deref().map_or(Json::Null, Json::str)),
+            ("wall_clock_seconds", Json::num(round3(self.wall_clock_seconds))),
+        ])
+    }
+}
+
+/// Renders a [`RunLength`] as the `{functional_warmup, timed_warmup,
+/// measure}` object used by artifacts and `summary.json`.
+#[must_use]
+pub fn run_length_json(length: RunLength) -> Json {
+    Json::obj(vec![
+        ("functional_warmup", Json::num(length.functional_warmup as f64)),
+        ("timed_warmup", Json::num(length.timed_warmup as f64)),
+        ("measure", Json::num(length.measure as f64)),
+    ])
+}
+
+/// `git describe --always --dirty` of the current working tree, or `None`
+/// when git (or the repository) is unavailable.
+///
+/// The revision cannot change within one process, so the subprocess runs
+/// once and the result is cached — a suite run stamps many artifacts without
+/// spawning git per artifact.
+#[must_use]
+pub fn git_describe() -> Option<String> {
+    static CACHED: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    CACHED.get_or_init(compute_git_describe).clone()
+}
+
+fn compute_git_describe() -> Option<String> {
+    let output = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&output.stdout).trim().to_string();
+    if text.is_empty() {
+        None
+    } else {
+        Some(text)
+    }
+}
+
+/// The derived metrics of one simulation run, in the units the paper reports
+/// (see [`schema::RUN_RECORD_FIELDS`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label of this run.
+    pub config_label: String,
+    /// Simulated core count.
+    pub cores: usize,
+    /// Measured instructions per core.
+    pub instructions_per_core: u64,
+    /// True if every core hit its instruction target.
+    pub completed: bool,
+    /// Measurement-window length in CPU cycles.
+    pub total_cycles: u64,
+    /// Sum of per-core IPC.
+    pub ipc_sum: f64,
+    /// LLC demand misses per kilo-instruction.
+    pub mpki: f64,
+    /// LLC write-backs per kilo-instruction.
+    pub wpki: f64,
+    /// Mean write bank-level parallelism per drain episode.
+    pub write_blp: f64,
+    /// Per-cent of execution time spent writing to DRAM.
+    pub write_time_pct: f64,
+    /// Mean write-to-write delay in nanoseconds.
+    pub mean_write_to_write_ns: f64,
+    /// DRAM row-buffer hit rate for writes, in per cent.
+    pub write_row_hit_rate_pct: f64,
+    /// Mean DRAM power in milliwatts.
+    pub dram_power_mw: f64,
+    /// DRAM energy in picojoules.
+    pub dram_energy_pj: f64,
+}
+
+impl From<&RunResult> for RunRecord {
+    fn from(r: &RunResult) -> Self {
+        Self {
+            workload: r.workload.name().to_string(),
+            config_label: r.config_label.clone(),
+            cores: r.cores,
+            instructions_per_core: r.instructions_per_core,
+            completed: r.completed,
+            total_cycles: r.total_cycles,
+            ipc_sum: r.ipc_sum(),
+            mpki: r.mpki(),
+            wpki: r.wpki(),
+            write_blp: r.write_blp(),
+            write_time_pct: r.write_time_fraction() * 100.0,
+            mean_write_to_write_ns: r.mean_write_to_write_ns(),
+            write_row_hit_rate_pct: r.write_row_hit_rate() * 100.0,
+            dram_power_mw: r.mean_dram_power_mw(),
+            dram_energy_pj: r.dram_energy_pj(),
+        }
+    }
+}
+
+impl RunRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(self.fields())
+    }
+
+    /// `(key, value)` pairs in [`schema::RUN_RECORD_FIELDS`] order; shared by
+    /// the JSON and CSV emitters so the two can never disagree.
+    fn fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("workload", Json::str(&self.workload)),
+            ("config_label", Json::str(&self.config_label)),
+            ("cores", Json::num(self.cores as f64)),
+            ("instructions_per_core", Json::num(self.instructions_per_core as f64)),
+            ("completed", Json::Bool(self.completed)),
+            ("total_cycles", Json::num(self.total_cycles as f64)),
+            ("ipc_sum", Json::num(self.ipc_sum)),
+            ("mpki", Json::num(self.mpki)),
+            ("wpki", Json::num(self.wpki)),
+            ("write_blp", Json::num(self.write_blp)),
+            ("write_time_pct", Json::num(self.write_time_pct)),
+            ("mean_write_to_write_ns", Json::num(self.mean_write_to_write_ns)),
+            ("write_row_hit_rate_pct", Json::num(self.write_row_hit_rate_pct)),
+            ("dram_power_mw", Json::num(self.dram_power_mw)),
+            ("dram_energy_pj", Json::num(self.dram_energy_pj)),
+        ]
+    }
+}
+
+/// A baseline-vs-variant summary: the headline numbers of a
+/// [`Comparison`], kept small enough to aggregate into `summary.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Variant configuration label.
+    pub label: String,
+    /// Geometric-mean speedup over the baseline, in per cent.
+    pub gmean_speedup_percent: f64,
+    /// Maximum per-workload speedup over the baseline, in per cent.
+    pub max_speedup_percent: f64,
+}
+
+impl From<&Comparison> for Delta {
+    fn from(cmp: &Comparison) -> Self {
+        Self {
+            label: cmp.label.clone(),
+            gmean_speedup_percent: cmp.gmean_speedup_percent(),
+            max_speedup_percent: cmp.max_speedup_percent(),
+        }
+    }
+}
+
+impl Delta {
+    /// Serializes to the `deltas[]` object of [`schema::DELTA_FIELDS`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::str(&self.label)),
+            ("gmean_speedup_percent", Json::num(self.gmean_speedup_percent)),
+            ("max_speedup_percent", Json::num(self.max_speedup_percent)),
+        ])
+    }
+}
+
+/// One ordered piece of experiment output.
+#[derive(Debug, Clone)]
+pub enum Section {
+    /// The standard experiment header block (rendered from the provenance).
+    Banner,
+    /// A named result table.
+    Table {
+        /// Table name ("main" unless an experiment emits several).
+        name: String,
+        /// The table itself.
+        table: Table,
+    },
+    /// One free-text line, printed verbatim (a trailing `\n` inside the
+    /// string yields a blank line, matching `println!`).
+    Note(String),
+}
+
+/// The structured result of one experiment run. See the
+/// [module docs](self) for an overview and a usage example.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Experiment id ("fig10", "tab06", ...), also the artifact file stem.
+    pub id: String,
+    /// Paper-style display name ("Figure 10", "Table VI", "Section VII-I").
+    pub display: String,
+    /// Human-readable experiment title (without the display prefix).
+    pub title: String,
+    /// Run provenance; `wall_clock_seconds` is stamped by [`Artifact::finish`].
+    pub provenance: Provenance,
+    /// Output sections in emission order.
+    pub sections: Vec<Section>,
+    /// Per-run records.
+    pub records: Vec<RunRecord>,
+    /// Baseline-vs-variant summaries.
+    pub deltas: Vec<Delta>,
+    started: Instant,
+}
+
+impl Artifact {
+    /// Creates an empty artifact and starts its wall clock.
+    #[must_use]
+    pub fn new(
+        id: impl Into<String>,
+        display: impl Into<String>,
+        title: impl Into<String>,
+        provenance: Provenance,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            display: display.into(),
+            title: title.into(),
+            provenance,
+            sections: Vec::new(),
+            records: Vec::new(),
+            deltas: Vec::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Appends the standard header block.
+    pub fn banner(&mut self) {
+        self.sections.push(Section::Banner);
+    }
+
+    /// Appends a named result table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is one of [`schema::CSV_RESERVED_TABLES`] — those
+    /// names key the flattened records/deltas in the tidy CSV, and a table
+    /// sharing one would silently corrupt that layout for consumers.
+    pub fn table(&mut self, name: impl Into<String>, table: Table) {
+        let name = name.into();
+        assert!(
+            !schema::CSV_RESERVED_TABLES.contains(&name.as_str()),
+            "table name '{name}' is reserved by the CSV layout"
+        );
+        self.sections.push(Section::Table { name, table });
+    }
+
+    /// Appends one free-text line (the structured equivalent of `println!`).
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.sections.push(Section::Note(line.into()));
+    }
+
+    /// Appends one [`RunRecord`] per result, labelled by each run's own
+    /// configuration label.
+    pub fn records_from(&mut self, results: &[RunResult]) {
+        self.records.extend(results.iter().map(RunRecord::from));
+    }
+
+    /// Appends one [`RunRecord`] per result under an explicit configuration
+    /// label — used when `SystemConfig::label()` would be ambiguous (e.g.
+    /// DRAM-only variants such as x4 vs x8 devices or write-queue sweeps).
+    pub fn records_labeled(&mut self, label: &str, results: &[RunResult]) {
+        self.records.extend(results.iter().map(|r| {
+            let mut record = RunRecord::from(r);
+            record.config_label = label.to_string();
+            record
+        }));
+    }
+
+    /// Appends the baseline-vs-variant [`Delta`] of a comparison.
+    pub fn delta_from(&mut self, cmp: &Comparison) {
+        self.deltas.push(Delta::from(cmp));
+    }
+
+    /// Appends a comparison's [`Delta`] under an explicit label (see
+    /// [`Artifact::records_labeled`] for when labels need disambiguation).
+    pub fn delta_labeled(&mut self, label: &str, cmp: &Comparison) {
+        let mut delta = Delta::from(cmp);
+        delta.label = label.to_string();
+        self.deltas.push(delta);
+    }
+
+    /// Stamps the elapsed wall clock into the provenance. Called by the
+    /// emission plumbing; safe to call repeatedly (the clock keeps running
+    /// from [`Artifact::new`]).
+    pub fn finish(&mut self) {
+        self.provenance.wall_clock_seconds = self.started.elapsed().as_secs_f64();
+    }
+
+    /// The named tables, in emission order.
+    #[must_use]
+    pub fn tables(&self) -> Vec<(&str, &Table)> {
+        self.sections
+            .iter()
+            .filter_map(|s| match s {
+                Section::Table { name, table } => Some((name.as_str(), table)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The note lines, in emission order.
+    #[must_use]
+    pub fn notes(&self) -> Vec<&str> {
+        self.sections
+            .iter()
+            .filter_map(|s| match s {
+                Section::Note(line) => Some(line.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The header block text (without trailing newline content other than the
+    /// final line break), exactly as the binaries have always printed it.
+    #[must_use]
+    pub fn banner_text(&self) -> String {
+        let rule = "==============================================================";
+        format!(
+            "{rule}\n{display}: {title}\ncores={cores} policy-baseline={label} workloads={nwl} \
+             measure={measure} instr/core jobs={jobs}\n{rule}\n",
+            display = self.display,
+            title = self.title,
+            cores = self.provenance.cores,
+            label = self.provenance.config_label,
+            nwl = self.provenance.workloads.len(),
+            measure = self.provenance.run_length.measure,
+            jobs = self.provenance.jobs,
+        )
+    }
+
+    /// Renders every section as plain text — byte-identical to the historical
+    /// `println!`-based output of the experiment binaries.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        self.render_sections(&self.sections)
+    }
+
+    /// Renders all sections after the leading banner (used when the banner
+    /// was already streamed to the terminal before the simulations ran).
+    #[must_use]
+    pub fn render_text_body(&self) -> String {
+        let body: Vec<Section> =
+            self.sections.iter().skip_while(|s| matches!(s, Section::Banner)).cloned().collect();
+        self.render_sections(&body)
+    }
+
+    fn render_sections(&self, sections: &[Section]) -> String {
+        let mut out = String::new();
+        for section in sections {
+            match section {
+                Section::Banner => out.push_str(&self.banner_text()),
+                // `println!("{}", table.render())` printed the rendered table
+                // (which ends with '\n') plus one more newline.
+                Section::Table { table, .. } => {
+                    out.push_str(&table.render());
+                    out.push('\n');
+                }
+                Section::Note(line) => {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the artifact to the versioned JSON document of
+    /// [`schema::ARTIFACT_FIELDS`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let tables = self
+            .tables()
+            .into_iter()
+            .map(|(name, table)| {
+                Json::obj(vec![
+                    ("name", Json::str(name)),
+                    ("header", Json::Arr(table.header().iter().map(Json::str).collect())),
+                    (
+                        "rows",
+                        Json::Arr(
+                            table
+                                .rows()
+                                .iter()
+                                .map(|row| Json::Arr(row.iter().map(Json::str).collect()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let notes = self.notes().into_iter().map(Json::str).collect();
+        Json::obj(vec![
+            ("schema_version", Json::num(schema::SCHEMA_VERSION as f64)),
+            ("experiment", Json::str(&self.id)),
+            ("title", Json::str(format!("{}: {}", self.display, self.title))),
+            ("provenance", self.provenance.to_json()),
+            ("tables", Json::Arr(tables)),
+            ("notes", Json::Arr(notes)),
+            ("records", Json::Arr(self.records.iter().map(RunRecord::to_json).collect())),
+            ("deltas", Json::Arr(self.deltas.iter().map(Delta::to_json).collect())),
+        ])
+    }
+
+    /// Serializes the artifact to tidy CSV: the [`schema::CSV_COLUMNS`]
+    /// header, one line per table cell, then the run records and deltas
+    /// flattened under the reserved `records` / `deltas` table names.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&csv::render_row(schema::CSV_COLUMNS));
+        out.push('\n');
+        let mut push = |table: &str, row: &str, column: &str, value: &str| {
+            out.push_str(&csv::render_row(&[&self.id, table, row, column, value]));
+            out.push('\n');
+        };
+        for (name, table) in self.tables() {
+            for row in table.rows() {
+                let label = row.first().map(String::as_str).unwrap_or_default();
+                for (column, value) in table.header().iter().zip(row) {
+                    push(name, label, column, value);
+                }
+            }
+        }
+        for record in &self.records {
+            let row = format!("{}@{}", record.workload, record.config_label);
+            for (key, value) in record.fields() {
+                push("records", &row, key, &json_scalar_to_csv(&value));
+            }
+        }
+        for delta in &self.deltas {
+            for (key, value) in delta.to_json().as_object().expect("delta is an object") {
+                push("deltas", &delta.label, key, &json_scalar_to_csv(value));
+            }
+        }
+        out
+    }
+}
+
+fn json_scalar_to_csv(value: &Json) -> String {
+    match value {
+        Json::Str(s) => s.clone(),
+        other => other.render(),
+    }
+}
+
+/// Rounds a wall-clock reading to milliseconds — the precision every
+/// `wall_clock_seconds` field carries, in artifacts and `summary.json`
+/// alike.
+#[must_use]
+pub fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn provenance() -> Provenance {
+        let mut p = Provenance::new(
+            "baseline/LRU",
+            8,
+            &["lbm".to_string(), "copy".to_string()],
+            RunLength::test(),
+            4,
+        );
+        // Pin the environment-dependent field so assertions are stable.
+        p.git_describe = Some("v0-test".to_string());
+        p
+    }
+
+    fn artifact() -> Artifact {
+        let mut a = Artifact::new("fig99", "Figure 99", "demo", provenance());
+        a.banner();
+        let mut t = Table::new(vec!["workload", "speedup %"]);
+        t.push_row(vec!["lbm", "+4.30"]);
+        t.push_row(vec!["copy", "+1.10"]);
+        a.table("main", t);
+        a.note("gmean speedup: +2.68%");
+        a.deltas.push(Delta {
+            label: "bard-h/LRU".into(),
+            gmean_speedup_percent: 2.68,
+            max_speedup_percent: 4.3,
+        });
+        a
+    }
+
+    #[test]
+    fn text_replay_matches_println_layout() {
+        let a = artifact();
+        let text = a.render_text();
+        let banner = a.banner_text();
+        assert!(text.starts_with(&banner));
+        assert_eq!(banner.lines().nth(1).unwrap(), "Figure 99: demo");
+        assert!(banner.contains("cores=8 policy-baseline=baseline/LRU workloads=2"));
+        // Table followed by a blank line, then the note.
+        assert!(text.contains("speedup %\n"));
+        assert!(text.ends_with("gmean speedup: +2.68%\n"));
+        // Body rendering drops only the banner.
+        assert_eq!(format!("{}{}", banner, a.render_text_body()), text);
+    }
+
+    #[test]
+    fn json_keys_match_schema() {
+        let a = artifact();
+        let json = a.to_json();
+        let keys: Vec<&str> = json.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let expected: Vec<&str> = schema::ARTIFACT_FIELDS.iter().map(|f| f.name).collect();
+        assert_eq!(keys, expected);
+        let prov_keys: Vec<&str> = json
+            .get("provenance")
+            .unwrap()
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        // run_length's sub-keys are documented separately in the schema.
+        let expected_prov: Vec<&str> = schema::PROVENANCE_FIELDS
+            .iter()
+            .map(|f| f.name)
+            .filter(|n| !["functional_warmup", "timed_warmup", "measure"].contains(n))
+            .collect();
+        assert_eq!(prov_keys, expected_prov);
+        let delta_keys: Vec<&str> = json.get("deltas").unwrap().as_array().unwrap()[0]
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let expected_delta: Vec<&str> = schema::DELTA_FIELDS.iter().map(|f| f.name).collect();
+        assert_eq!(delta_keys, expected_delta);
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let a = artifact();
+        let json = a.to_json();
+        assert_eq!(Json::parse(&json.render()).unwrap(), json);
+    }
+
+    #[test]
+    fn csv_is_tidy_and_parseable() {
+        let a = artifact();
+        let text = a.to_csv();
+        let rows = csv::parse(&text).unwrap();
+        assert_eq!(rows[0], schema::CSV_COLUMNS);
+        // Every data line has exactly five fields and the experiment id.
+        for row in &rows[1..] {
+            assert_eq!(row.len(), 5);
+            assert_eq!(row[0], "fig99");
+        }
+        // 2 table rows x 2 columns + 3 delta fields.
+        assert_eq!(rows.len(), 1 + 4 + 3);
+        assert!(text.contains("fig99,main,lbm,speedup %,+4.30"));
+        assert!(text.contains("fig99,deltas,bard-h/LRU,gmean_speedup_percent,2.68"));
+    }
+
+    #[test]
+    fn finish_stamps_wall_clock() {
+        let mut a = artifact();
+        assert_eq!(a.provenance.wall_clock_seconds, 0.0);
+        a.finish();
+        assert!(a.provenance.wall_clock_seconds >= 0.0);
+    }
+
+    #[test]
+    fn json_title_joins_display_and_title() {
+        let a = artifact();
+        assert_eq!(a.to_json().get("title").unwrap().as_str(), Some("Figure 99: demo"));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved by the CSV layout")]
+    fn reserved_csv_table_names_are_rejected() {
+        let mut a = artifact();
+        a.table("records", Table::new(vec!["x"]));
+    }
+}

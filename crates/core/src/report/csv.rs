@@ -1,0 +1,163 @@
+//! RFC-4180-style CSV writing and parsing for result artifacts.
+//!
+//! Artifacts use a *tidy* (long-form) CSV layout — one `(experiment, table,
+//! row, column, value)` cell per line — so every experiment, whatever the
+//! shape of its tables, produces the same five columns and loads directly
+//! into spreadsheet pivots or `pandas.read_csv(...).pivot(...)`. See
+//! [`schema`](crate::report::schema) and `docs/RESULTS.md` for the layout.
+//!
+//! ```
+//! use bard::report::csv;
+//!
+//! let line = csv::render_row(&["fig10", "main", "lbm", "BARD-H %", "+4.30"]);
+//! assert_eq!(line, "fig10,main,lbm,BARD-H %,+4.30");
+//! let rows = csv::parse(&format!("{line}\n")).unwrap();
+//! assert_eq!(rows[0][3], "BARD-H %");
+//! ```
+
+/// Escapes one field: quoted iff it contains a comma, quote, CR or LF.
+#[must_use]
+pub fn escape_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Renders one CSV row (no trailing newline).
+#[must_use]
+pub fn render_row<S: AsRef<str>>(fields: &[S]) -> String {
+    fields.iter().map(|f| escape_field(f.as_ref())).collect::<Vec<_>>().join(",")
+}
+
+/// Parses a CSV document into rows of fields, honouring quoted fields
+/// (including embedded commas, newlines and doubled quotes). A trailing
+/// newline does not produce an empty final row.
+///
+/// # Errors
+///
+/// Returns a message naming the offending byte offset when a quoted field is
+/// unterminated, a closing quote is not followed by a separator, or a bare
+/// `\r` (outside a CRLF pair) appears.
+pub fn parse(text: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.char_indices().peekable();
+    // True once the current row has any content (so "a\n" yields one row).
+    let mut row_started = false;
+    while let Some((offset, c)) = chars.next() {
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(format!("unexpected '\"' inside unquoted field at byte {offset}"));
+                }
+                row_started = true;
+                loop {
+                    match chars.next() {
+                        Some((_, '"')) => {
+                            if let Some(&(_, '"')) = chars.peek() {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some((_, inner)) => field.push(inner),
+                        None => {
+                            return Err(format!(
+                                "unterminated quoted field starting at byte {offset}"
+                            ));
+                        }
+                    }
+                }
+                if !matches!(chars.peek(), Some((_, ',' | '\n' | '\r')) | None) {
+                    return Err(format!("expected separator after quote closing at byte {offset}"));
+                }
+            }
+            ',' => {
+                row_started = true;
+                row.push(std::mem::take(&mut field));
+            }
+            '\n' => {
+                if row_started || !field.is_empty() {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                row_started = false;
+            }
+            '\r' => {
+                // Tolerate CRLF by ignoring the CR (the LF ends the row);
+                // a bare CR is rejected rather than silently merging rows.
+                if !matches!(chars.peek(), Some((_, '\n'))) {
+                    return Err(format!("bare '\\r' (not part of CRLF) at byte {offset}"));
+                }
+            }
+            c => {
+                row_started = true;
+                field.push(c);
+            }
+        }
+    }
+    if row_started || !field.is_empty() {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(escape_field("abc"), "abc");
+        assert_eq!(render_row(&["a", "b", "c"]), "a,b,c");
+    }
+
+    #[test]
+    fn special_fields_are_quoted() {
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn round_trip_with_embedded_separators() {
+        let rows = vec![
+            vec!["experiment".to_string(), "va,lue".to_string()],
+            vec!["fig10".to_string(), "quote \" and\nnewline".to_string()],
+        ];
+        let text: String = rows.iter().map(|r| render_row(r) + "\n").collect();
+        assert_eq!(parse(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn trailing_newline_does_not_add_a_row() {
+        assert_eq!(parse("a,b\n").unwrap().len(), 1);
+        assert_eq!(parse("a,b").unwrap().len(), 1);
+        assert_eq!(parse("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn empty_fields_are_preserved() {
+        assert_eq!(parse("a,,c\n").unwrap(), vec![vec!["a", "", "c"]]);
+        assert_eq!(parse(",\n").unwrap(), vec![vec!["", ""]]);
+    }
+
+    #[test]
+    fn malformed_quoting_errors() {
+        assert!(parse("\"open\n").is_err());
+        assert!(parse("\"a\"x,b\n").is_err());
+        assert!(parse("ab\"c\n").is_err());
+    }
+
+    #[test]
+    fn crlf_rows_parse_but_bare_cr_errors() {
+        assert_eq!(parse("a,b\r\nc,d\r\n").unwrap(), vec![vec!["a", "b"], vec!["c", "d"]]);
+        assert!(parse("a,b\rc,d\n").is_err(), "classic-Mac line endings must not merge rows");
+        assert!(parse("\"a\"\rx,b\n").is_err(), "bare CR after a closing quote must not hide data");
+    }
+}

@@ -1,7 +1,31 @@
-//! Plain-text report formatting for the experiment binaries.
+//! Result reporting: plain-text tables plus the structured artifact pipeline.
 //!
-//! Each table/figure binary in `bard-bench` prints rows in the same layout the
-//! paper reports, using these helpers so that the output stays consistent.
+//! This module has two layers:
+//!
+//! * **Text formatting** — [`Table`] and the `fmt`/`pct` helpers render the
+//!   fixed-width rows each table/figure binary in `bard-bench` prints, in the
+//!   same layout the paper reports.
+//! * **Structured artifacts** — [`artifact`] wraps those same tables (plus
+//!   free-text notes, per-run [`RunRecord`]s and baseline-vs-variant
+//!   [`Delta`]s) into a provenance-stamped [`Artifact`] that serializes to
+//!   JSON ([`json`]) and tidy CSV ([`csv`]). The [`schema`] module is the
+//!   authoritative, versioned description of every emitted field; the `repro`
+//!   orchestrator in `bard-bench` writes one artifact per experiment plus a
+//!   `summary.json` in the same schema.
+//!
+//! The text path is unchanged by the artifact layer: an [`Artifact`] replays
+//! its sections byte-for-byte as the historical `println!` output (see
+//! [`Artifact::render_text`]).
+
+pub mod artifact;
+pub mod csv;
+pub mod json;
+pub mod schema;
+
+pub use artifact::{
+    git_describe, round3, run_length_json, Artifact, Delta, Provenance, RunRecord, Section,
+};
+pub use json::Json;
 
 use crate::metrics::RunResult;
 
@@ -30,6 +54,18 @@ impl Table {
     #[must_use]
     pub fn len(&self) -> usize {
         self.rows.len()
+    }
+
+    /// The column headers.
+    #[must_use]
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows (each padded to the header length).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
     }
 
     /// True if no data rows have been added.

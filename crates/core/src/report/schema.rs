@@ -1,0 +1,145 @@
+//! The authoritative description of the result-artifact schema.
+//!
+//! Every JSON/CSV artifact the pipeline emits is versioned by
+//! [`SCHEMA_VERSION`], and the field lists below are the single source of
+//! truth for what each record contains: the emitters in
+//! [`artifact`](crate::report::artifact) are tested against these tables, and
+//! `docs/RESULTS.md` documents the same fields for human readers. Bump
+//! [`SCHEMA_VERSION`] whenever a field is added, removed or changes meaning.
+
+/// Version stamped into every artifact and summary (`schema_version` key).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Name, units and meaning of one schema field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// JSON key (and CSV `column` value for record rows).
+    pub name: &'static str,
+    /// Units, or `"-"` for unitless/structural fields.
+    pub units: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+}
+
+const fn field(name: &'static str, units: &'static str, description: &'static str) -> FieldSpec {
+    FieldSpec { name, units, description }
+}
+
+/// Top-level keys of one per-experiment artifact (`<experiment>.json`).
+pub const ARTIFACT_FIELDS: &[FieldSpec] = &[
+    field("schema_version", "-", "Artifact schema version (this document)"),
+    field("experiment", "-", "Experiment id, e.g. \"fig10\" or \"tab06\""),
+    field("title", "-", "Human-readable experiment title"),
+    field("provenance", "-", "Run provenance object (see provenance fields)"),
+    field("tables", "-", "Ordered list of {name, header, rows} result tables"),
+    field("notes", "-", "Free-text result lines printed after the tables"),
+    field("records", "-", "Per-(config, workload) RunRecord objects"),
+    field("deltas", "-", "Baseline-vs-variant speedup summaries"),
+];
+
+/// Keys of the `provenance` object stamped into every artifact.
+pub const PROVENANCE_FIELDS: &[FieldSpec] = &[
+    field("config_label", "-", "Baseline configuration label, e.g. \"baseline/LRU\""),
+    field("cores", "cores", "Simulated core count of the baseline configuration"),
+    field("run_length", "-", "{functional_warmup, timed_warmup, measure} object"),
+    field("functional_warmup", "instructions/core", "Timing-free cache warm-up length"),
+    field("timed_warmup", "instructions/core", "Timed warm-up length"),
+    field("measure", "instructions/core", "Measured instruction count"),
+    field("workloads", "-", "Workload names simulated, in run order"),
+    field("jobs", "threads", "Worker threads of the simulation Runner"),
+    field("git_describe", "-", "`git describe --always --dirty` of the tree, or null"),
+    field("wall_clock_seconds", "s", "Wall-clock time spent producing the artifact"),
+];
+
+/// Keys of one `records[]` entry: everything measured in one simulation run,
+/// in the derived units the paper reports.
+pub const RUN_RECORD_FIELDS: &[FieldSpec] = &[
+    field("workload", "-", "Workload name"),
+    field("config_label", "-", "Configuration label of this run"),
+    field("cores", "cores", "Simulated core count"),
+    field("instructions_per_core", "instructions", "Measured instructions per core"),
+    field("completed", "-", "True if every core hit its instruction target"),
+    field("total_cycles", "CPU cycles", "Measurement window length (slowest core)"),
+    field("ipc_sum", "IPC", "Sum of per-core IPC (system throughput)"),
+    field("mpki", "misses/1k instr", "LLC demand misses per kilo-instruction"),
+    field("wpki", "writebacks/1k instr", "LLC write-backs to DRAM per kilo-instruction"),
+    field("write_blp", "banks", "Mean write bank-level parallelism per drain (of 32)"),
+    field("write_time_pct", "%", "Fraction of execution time spent writing to DRAM"),
+    field("mean_write_to_write_ns", "ns", "Mean delay between consecutive DRAM writes"),
+    field("write_row_hit_rate_pct", "%", "DRAM row-buffer hit rate for writes"),
+    field("dram_power_mw", "mW", "Mean DRAM power over the window"),
+    field("dram_energy_pj", "pJ", "DRAM energy over the window"),
+];
+
+/// Keys of one `deltas[]` entry: a variant configuration compared against the
+/// experiment's baseline.
+pub const DELTA_FIELDS: &[FieldSpec] = &[
+    field("label", "-", "Variant configuration label"),
+    field("gmean_speedup_percent", "%", "Geometric-mean speedup over the baseline"),
+    field("max_speedup_percent", "%", "Maximum per-workload speedup over the baseline"),
+];
+
+/// Top-level keys of the suite summary (`summary.json`) written by the
+/// `repro` orchestrator.
+pub const SUMMARY_FIELDS: &[FieldSpec] = &[
+    field("schema_version", "-", "Artifact schema version (this document)"),
+    field("suite", "-", "Constant suite id: \"bard-hpca2026-repro\""),
+    field("config_label", "-", "Baseline configuration label shared by the suite"),
+    field("cores", "cores", "Simulated core count of the baseline configuration"),
+    field("run_length", "-", "{functional_warmup, timed_warmup, measure} object"),
+    field("workloads", "-", "Workload names simulated, in run order"),
+    field("jobs", "threads", "Worker threads of the shared simulation Runner"),
+    field("git_describe", "-", "`git describe --always --dirty` of the tree, or null"),
+    field("wall_clock_seconds", "s", "Wall-clock time of the whole suite run"),
+    field("total", "experiments", "Number of experiments attempted"),
+    field("failed", "experiments", "Number of experiments that panicked"),
+    field("experiments", "-", "Per-experiment status entries (see summary experiment fields)"),
+];
+
+/// Keys of one `experiments[]` entry inside `summary.json`.
+pub const SUMMARY_EXPERIMENT_FIELDS: &[FieldSpec] = &[
+    field("id", "-", "Experiment id, e.g. \"fig10\""),
+    field("title", "-", "Human-readable experiment title"),
+    field("status", "-", "\"ok\" or \"failed\""),
+    field("error", "-", "Panic message when status is \"failed\", else null"),
+    field("wall_clock_seconds", "s", "Wall-clock time of this experiment"),
+    field("artifact_json", "-", "Artifact file name relative to --out, or null"),
+    field("artifact_csv", "-", "CSV file name relative to --out, or null"),
+    field("records", "runs", "Number of RunRecords in the artifact"),
+    field("deltas", "-", "Baseline-vs-variant speedup summaries (see delta fields)"),
+];
+
+/// Column headers of the tidy CSV layout (`<experiment>.csv`): one line per
+/// table cell, so every experiment emits the same five columns.
+pub const CSV_COLUMNS: &[&str] = &["experiment", "table", "row", "column", "value"];
+
+/// `table` values reserved by the CSV emitter for non-table payloads:
+/// run records and deltas are flattened into the same tidy layout under
+/// these names.
+pub const CSV_RESERVED_TABLES: &[&str] = &["records", "deltas"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lists_have_unique_names() {
+        for fields in
+            [ARTIFACT_FIELDS, RUN_RECORD_FIELDS, DELTA_FIELDS, SUMMARY_FIELDS, PROVENANCE_FIELDS]
+        {
+            let mut names: Vec<_> = fields.iter().map(|f| f.name).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate field name in {fields:?}");
+        }
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for f in ARTIFACT_FIELDS.iter().chain(RUN_RECORD_FIELDS).chain(SUMMARY_FIELDS) {
+            assert!(!f.description.is_empty(), "{} lacks a description", f.name);
+            assert!(!f.units.is_empty(), "{} lacks units", f.name);
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! Every figure and table of the evaluation boils down to the same shape of
 //! work: simulate a grid of `(configuration, workload)` pairs and post-process
 //! the [`RunResult`]s. The simulations are completely independent — each owns
-//! its [`System`](crate::system::System) — so the grid is embarrassingly
+//! its [`System`] — so the grid is embarrassingly
 //! parallel. [`Runner`] fans the grid out over a scoped pool of `std::thread`
 //! workers pulling jobs from a shared atomic cursor (no work stealing, no
 //! external dependencies) while preserving the *exact* output ordering and
@@ -30,6 +30,7 @@
 //! assert_eq!(results.len(), 4); // config-major, workload-minor order
 //! ```
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -119,7 +120,8 @@ impl Runner {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any job. The other workers stop claiming new
+    /// Propagates a panic from any job, re-raising the job's original panic
+    /// payload on the calling thread. The other workers stop claiming new
     /// jobs as soon as one panics (each finishes only its in-flight job), so
     /// a failing grid aborts promptly instead of draining the whole queue.
     #[must_use]
@@ -150,11 +152,16 @@ impl Runner {
         let cursor = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // First panic payload from any worker; re-raised on the calling
+        // thread so callers see the original message, not the generic
+        // "a scoped thread panicked" that `thread::scope` would raise.
+        let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let items = &items;
         let slots_ref = &slots;
         let cursor_ref = &cursor;
         let abort_ref = &abort;
         let work_ref = &work;
+        let panicked_ref = &panicked;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(move || loop {
@@ -165,17 +172,28 @@ impl Runner {
                     if i >= n {
                         break;
                     }
-                    // If `work` panics the guard's Drop tells the other
-                    // workers to stop claiming jobs; the panic itself is
-                    // re-raised by `thread::scope` after all workers join.
-                    let mut guard = AbortOnPanic { flag: abort_ref, armed: true };
-                    let result = work_ref(&items[i]);
-                    guard.armed = false;
-                    drop(guard);
-                    *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
+                    match catch_unwind(AssertUnwindSafe(|| work_ref(&items[i]))) {
+                        Ok(result) => {
+                            *slots_ref[i].lock().expect("result slot poisoned") = Some(result);
+                        }
+                        Err(payload) => {
+                            // Stop the other workers from claiming new jobs
+                            // (each finishes only its in-flight one) and keep
+                            // the first payload for the re-raise.
+                            abort_ref.store(true, Ordering::Relaxed);
+                            let mut slot = panicked_ref.lock().expect("panic slot poisoned");
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            break;
+                        }
+                    }
                 });
             }
         });
+        if let Some(payload) = panicked.into_inner().expect("panic slot poisoned") {
+            resume_unwind(payload);
+        }
         slots
             .into_iter()
             .map(|slot| {
@@ -191,20 +209,6 @@ impl Default for Runner {
     /// Auto-sized runner: `BARD_JOBS` if set, else available parallelism.
     fn default() -> Self {
         Self::new(0)
-    }
-}
-
-/// Sets `flag` when dropped while still armed (i.e. during unwinding).
-struct AbortOnPanic<'a> {
-    flag: &'a AtomicBool,
-    armed: bool,
-}
-
-impl Drop for AbortOnPanic<'_> {
-    fn drop(&mut self) {
-        if self.armed {
-            self.flag.store(true, Ordering::Relaxed);
-        }
     }
 }
 
@@ -271,8 +275,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn worker_panics_propagate() {
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate_with_original_message() {
         let runner = Runner::new(2);
         let _ = runner.run_jobs(vec![1, 2, 3, 4], |x| {
             assert!(*x != 3, "boom");

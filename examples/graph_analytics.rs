@@ -6,8 +6,11 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example graph_analytics [--quick]
+//! cargo run --release --example graph_analytics [--quick] [--out=DIR]
 //! ```
+//!
+//! `--out=DIR` additionally writes a `graph_analytics.json` / `.csv`
+//! artifact in the schema of `docs/RESULTS.md`.
 
 use bard::experiment::{Comparison, RunLength};
 use bard::report::Table;
@@ -16,6 +19,9 @@ use bard_workloads::{Suite, WorkloadId};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let out = std::env::args()
+        .skip(1)
+        .find_map(|arg| arg.strip_prefix("--out=").map(std::path::PathBuf::from));
     let length = if quick { RunLength::test() } else { RunLength::quick() };
     let workloads: Vec<WorkloadId> =
         WorkloadId::singles().iter().copied().filter(|w| w.suite() == Suite::Ligra).collect();
@@ -50,4 +56,20 @@ fn main() {
     println!("{}", table.render());
     println!("Write-heavy kernels (bc, cf, radii) benefit most; read-dominated ones");
     println!("(bellmanford, pagerank) see smaller gains because writes are rarer.");
+
+    if let Some(dir) = out {
+        let (json, csv) = bard_bench::harness::write_example_artifact(
+            &dir,
+            "graph_analytics",
+            "Graph analytics",
+            "LIGRA kernels under every BARD variant",
+            &baseline_cfg,
+            &workloads,
+            length,
+            Some(table),
+            &comparisons,
+        )
+        .expect("write graph_analytics artifacts");
+        println!("wrote {} and {}", dir.join(json).display(), dir.join(csv).display());
+    }
 }

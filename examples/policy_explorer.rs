@@ -6,8 +6,11 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example policy_explorer [workload]
+//! cargo run --release --example policy_explorer [workload] [--out=DIR]
 //! ```
+//!
+//! `--out=DIR` additionally writes a `policy_explorer.json` / `.csv`
+//! artifact in the schema of `docs/RESULTS.md`.
 
 use bard::experiment::{Comparison, RunLength};
 use bard::report::Table;
@@ -15,10 +18,15 @@ use bard::{speedup_percent, SystemConfig, WritePolicyKind};
 use bard_workloads::WorkloadId;
 
 fn main() {
-    let workload = std::env::args()
-        .nth(1)
-        .and_then(|name| WorkloadId::from_name(&name))
-        .unwrap_or(WorkloadId::Bc);
+    let mut workload = WorkloadId::Bc;
+    let mut out = None;
+    for arg in std::env::args().skip(1) {
+        if let Some(dir) = arg.strip_prefix("--out=") {
+            out = Some(std::path::PathBuf::from(dir));
+        } else if let Some(w) = WorkloadId::from_name(&arg) {
+            workload = w;
+        }
+    }
     let length = RunLength::quick();
     let baseline_cfg = SystemConfig::baseline_8core();
 
@@ -65,4 +73,20 @@ fn main() {
     println!("{}", table.render());
     println!("BARD-E trades extra misses for bank-parallel write-backs; BARD-C trades extra");
     println!("write-backs; BARD-H combines both. EW and VWQ are the bank-unaware prior work.");
+
+    if let Some(dir) = out {
+        let (json, csv) = bard_bench::harness::write_example_artifact(
+            &dir,
+            "policy_explorer",
+            "Policy explorer",
+            "every LLC writeback policy on one workload",
+            &baseline_cfg,
+            &[workload],
+            length,
+            Some(table),
+            &comparisons,
+        )
+        .expect("write policy_explorer artifacts");
+        println!("wrote {} and {}", dir.join(json).display(), dir.join(csv).display());
+    }
 }

@@ -5,18 +5,26 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example quickstart [workload]
+//! cargo run --release --example quickstart [workload] [--out=DIR]
 //! ```
+//!
+//! `--out=DIR` additionally writes a `quickstart.json` / `quickstart.csv`
+//! artifact in the schema of `docs/RESULTS.md`.
 
 use bard::experiment::{Comparison, RunLength};
 use bard::{speedup_percent, SystemConfig, WritePolicyKind};
 use bard_workloads::WorkloadId;
 
 fn main() {
-    let workload = std::env::args()
-        .nth(1)
-        .and_then(|name| WorkloadId::from_name(&name))
-        .unwrap_or(WorkloadId::Lbm);
+    let mut workload = WorkloadId::Lbm;
+    let mut out = None;
+    for arg in std::env::args().skip(1) {
+        if let Some(dir) = arg.strip_prefix("--out=") {
+            out = Some(std::path::PathBuf::from(dir));
+        } else if let Some(w) = WorkloadId::from_name(&arg) {
+            workload = w;
+        }
+    }
     let length = RunLength::quick();
 
     println!("workload: {workload}");
@@ -67,4 +75,20 @@ fn main() {
     println!();
     println!("speedup of BARD-H over baseline: {:+.2}%", speedup_percent(bard, baseline));
     println!("(simulated both configurations in {:.1}s)", elapsed.as_secs_f64());
+
+    if let Some(dir) = out {
+        let (json, csv) = bard_bench::harness::write_example_artifact(
+            &dir,
+            "quickstart",
+            "Quickstart",
+            "baseline vs BARD-H",
+            &baseline_cfg,
+            &[workload],
+            length,
+            None,
+            std::slice::from_ref(&cmp),
+        )
+        .expect("write quickstart artifacts");
+        println!("wrote {} and {}", dir.join(json).display(), dir.join(csv).display());
+    }
 }

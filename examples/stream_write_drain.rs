@@ -9,8 +9,11 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example stream_write_drain
+//! cargo run --release --example stream_write_drain [--out=DIR]
 //! ```
+//!
+//! `--out=DIR` additionally writes a `stream_write_drain.json` / `.csv`
+//! artifact in the schema of `docs/RESULTS.md`.
 
 use bard::experiment::{Comparison, RunLength};
 use bard::report::Table;
@@ -18,6 +21,9 @@ use bard::{speedup_percent, SystemConfig, WritePolicyKind};
 use bard_workloads::WorkloadId;
 
 fn main() {
+    let out = std::env::args()
+        .skip(1)
+        .find_map(|arg| arg.strip_prefix("--out=").map(std::path::PathBuf::from));
     let kernels = [WorkloadId::Copy, WorkloadId::Scale, WorkloadId::Add, WorkloadId::Triad];
     let length = RunLength::quick();
     let baseline_cfg = SystemConfig::baseline_8core();
@@ -60,4 +66,20 @@ fn main() {
     println!("Each drain episode services ~32 writes (high watermark 40 -> low watermark 8).");
     println!("BARD raises the number of distinct banks those writes cover, shortening the");
     println!("episode and returning the bus to reads sooner.");
+
+    if let Some(dir) = out {
+        let (json, csv) = bard_bench::harness::write_example_artifact(
+            &dir,
+            "stream_write_drain",
+            "STREAM write drain",
+            "write-drain anatomy of the STREAM kernels",
+            &baseline_cfg,
+            &kernels,
+            length,
+            Some(table),
+            std::slice::from_ref(&cmp),
+        )
+        .expect("write stream_write_drain artifacts");
+        println!("wrote {} and {}", dir.join(json).display(), dir.join(csv).display());
+    }
 }

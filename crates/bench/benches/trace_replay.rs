@@ -1,0 +1,82 @@
+//! Micro-benchmark: live trace generation vs BTF1 replay throughput.
+//!
+//! Replay skips all generator compute (RNG draws, graph walks), so its
+//! records/sec ceiling is what the `--trace-dir` fast path buys. The
+//! benchmark records each workload into a scratch BTF archive once, then
+//! times `next_record` on the live generator and on the replay side by side;
+//! a final `records_per_sec` summary line is printed in the same spirit as
+//! the criterion output so future `BENCH_*.json` entries can track the
+//! live-vs-replay ratio.
+
+use std::time::{Duration, Instant};
+
+use bard_cpu::TraceSource;
+use bard_trace::TraceStore;
+use bard_workloads::WorkloadId;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// Instructions per recorded scratch trace — enough records that a timing
+/// loop rarely wraps within one sample.
+const TRACE_INSTRUCTIONS: u64 = 500_000;
+
+fn scratch_store() -> (TraceStore, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("bard-bench-traces-{}", std::process::id()));
+    (TraceStore::new(&dir), dir)
+}
+
+fn bench(c: &mut Criterion) {
+    let (store, dir) = scratch_store();
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for workload in [WorkloadId::Lbm, WorkloadId::Pagerank, WorkloadId::Copy] {
+        group.bench_function(format!("live/{}", workload.name()), |b| {
+            let mut trace = workload.build(0, 7);
+            b.iter(|| trace.next_record());
+        });
+        group.bench_function(format!("replay/{}", workload.name()), |b| {
+            let mut replay = store
+                .obtain(workload.name(), 0, 7, TRACE_INSTRUCTIONS, || workload.build(0, 7))
+                .expect("scratch trace records");
+            b.iter(|| replay.next_record());
+        });
+    }
+    group.finish();
+    summarize_throughput(&store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One-shot records/sec comparison (skipped under `--test`, where benches
+/// are smoke tests).
+fn summarize_throughput(store: &TraceStore) {
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let workload = WorkloadId::Lbm;
+    let count = 2_000_000u64;
+    let mut live = workload.build(0, 7);
+    let live_rate = rate(&mut *live, count);
+    let mut replay = store
+        .obtain(workload.name(), 0, 7, TRACE_INSTRUCTIONS, || workload.build(0, 7))
+        .expect("scratch trace records");
+    let replay_rate = rate(&mut replay, count);
+    println!(
+        "trace_replay/records_per_sec: live={live_rate:.3e} replay={replay_rate:.3e} \
+         speedup={:.2}x ({} records of {})",
+        replay_rate / live_rate,
+        count,
+        workload.name(),
+    );
+}
+
+fn rate(source: &mut dyn TraceSource, count: u64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..count {
+        let _ = black_box(source.next_record());
+    }
+    count as f64 / start.elapsed().as_secs_f64()
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! `trace` — record, inspect, import and verify BTF trace archives.
+//!
+//! See `bard_bench::tracecli` for the subcommands and `docs/TRACES.md` for
+//! the BTF1 format and the record/replay workflows.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::new();
+    match bard_bench::tracecli::run(&args, &mut out) {
+        Ok(()) => print!("{out}"),
+        Err(message) => {
+            print!("{out}");
+            eprintln!("trace: {message}");
+            std::process::exit(1);
+        }
+    }
+}

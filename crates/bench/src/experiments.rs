@@ -612,6 +612,10 @@ fn tab07(cli: &Cli, a: &mut Artifact) {
     for (label, base_cfg) in
         [("8", SystemConfig::baseline_8core()), ("16", SystemConfig::baseline_16core())]
     {
+        // tab07 deliberately simulates the full 8/16-core systems whatever
+        // the CLI baseline is, but the seed and trace archive still follow
+        // the CLI so --seed= sweeps and --trace-dir= replay cover it too.
+        let base_cfg = base_cfg.with_seed(cli.config.seed).with_trace(cli.config.trace.clone());
         let bard_cfg = base_cfg.clone().with_policy(WritePolicyKind::BardH);
         let cmp =
             Comparison::run_on(&cli.runner(), &base_cfg, &bard_cfg, &cli.workloads, cli.length);

@@ -8,6 +8,11 @@
 //! * `--singles` / `--mixes`: restrict to single workloads or mixes,
 //! * `--cores=N`: override the core count (scales the run to `small` sizes
 //!   when N <= 2, useful for smoke-testing a binary),
+//! * `--seed=N`: override the workload-generator seed, re-randomizing every
+//!   synthetic trace for scenario sweeps,
+//! * `--trace-dir=DIR`: run from the BTF trace archive in `DIR` —
+//!   record-if-missing, replay-if-present, bitwise-identical results either
+//!   way (see `docs/TRACES.md`),
 //! * `--jobs=N`: simulation worker threads (default: `BARD_JOBS` or all
 //!   host cores; `--jobs=1` forces the serial path),
 //! * `--format=text|json|csv`: stdout format (default `text`, byte-identical
@@ -24,7 +29,7 @@ use std::path::{Path, PathBuf};
 use bard::experiment::{run_workloads_on, Comparison, RunLength};
 use bard::report::{Artifact, Provenance};
 use bard::runner::{Job, Runner};
-use bard::{RunResult, SystemConfig};
+use bard::{RunResult, SystemConfig, TraceConfig};
 use bard_workloads::WorkloadId;
 
 /// What an experiment binary writes to stdout.
@@ -96,6 +101,8 @@ impl Cli {
         let mut jobs = 0;
         let mut format = OutputFormat::Text;
         let mut out = None;
+        let mut seed = None;
+        let mut trace_dir: Option<PathBuf> = None;
         for arg in args {
             if arg == "--test" {
                 length = RunLength::test();
@@ -119,6 +126,10 @@ impl Cli {
             } else if let Some(cores) = arg.strip_prefix("--cores=") {
                 let cores: usize = cores.parse().expect("--cores=N needs a number");
                 config.cores = cores;
+            } else if let Some(n) = arg.strip_prefix("--seed=") {
+                seed = Some(n.parse().expect("--seed=N needs a number"));
+            } else if let Some(dir) = arg.strip_prefix("--trace-dir=") {
+                trace_dir = Some(PathBuf::from(dir));
             } else if let Some(n) = arg.strip_prefix("--jobs=") {
                 jobs = n.parse().expect("--jobs=N needs a number");
             } else if let Some(name) = arg.strip_prefix("--format=") {
@@ -133,6 +144,15 @@ impl Cli {
                 print_usage();
                 panic!("unknown argument '{arg}'");
             }
+        }
+        // Applied after the loop so flag order never matters: the presets
+        // (--test) replace the whole config, and the trace budget depends on
+        // the final run length.
+        if let Some(seed) = seed {
+            config.seed = seed;
+        }
+        if let Some(dir) = trace_dir {
+            config.trace = Some(TraceConfig::for_run_length(dir, length));
         }
         Self { length, workloads, config, jobs, format, out }
     }
@@ -189,7 +209,8 @@ impl Cli {
 fn print_usage() {
     eprintln!(
         "usage: <experiment> [--test|--quick|--standard] [--singles|--mixes] \
-         [--workloads=a,b,c] [--cores=N] [--jobs=N] [--format=text|json|csv] [--out=DIR]"
+         [--workloads=a,b,c] [--cores=N] [--seed=N] [--trace-dir=DIR] [--jobs=N] \
+         [--format=text|json|csv] [--out=DIR]"
     );
 }
 
@@ -317,6 +338,36 @@ mod tests {
         assert_eq!(p.workloads, ["lbm"]);
         assert_eq!(p.run_length, RunLength::test());
         assert_eq!(p.jobs, 2);
+    }
+
+    #[test]
+    fn seed_flag_overrides_the_generator_seed() {
+        let default_seed = SystemConfig::baseline_8core().seed;
+        let cli = Cli::from_args(std::iter::empty());
+        assert_eq!(cli.config.seed, default_seed);
+        // Flag order must not matter: presets replace the config wholesale.
+        let cli = Cli::from_args(["--seed=12345".to_string(), "--test".to_string()].into_iter());
+        assert_eq!(cli.config.seed, 12345);
+        let cli = Cli::from_args(["--test".to_string(), "--seed=12345".to_string()].into_iter());
+        assert_eq!(cli.config.seed, 12345);
+    }
+
+    #[test]
+    fn trace_dir_flag_budgets_from_the_final_run_length() {
+        let cli = Cli::from_args(
+            ["--trace-dir=/tmp/traces".to_string(), "--test".to_string()].into_iter(),
+        );
+        let trace = cli.config.trace.as_ref().expect("trace config set");
+        assert_eq!(trace.dir, Path::new("/tmp/traces"));
+        assert_eq!(trace.instructions_per_core, TraceConfig::budget_for(RunLength::test()));
+        let cli = Cli::from_args(std::iter::empty());
+        assert!(cli.config.trace.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "--seed=N needs a number")]
+    fn malformed_seed_flag_panics() {
+        let _ = Cli::from_args(["--seed=entropy".to_string()].into_iter());
     }
 
     #[test]

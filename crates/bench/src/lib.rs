@@ -7,6 +7,8 @@
 //! * the `repro` orchestrator binary, which runs the whole suite (or an
 //!   `--only=` subset) and writes JSON/CSV artifacts plus a `summary.json`
 //!   (see [`repro`] and `docs/RESULTS.md`),
+//! * the `trace` binary for recording, inspecting, importing and verifying
+//!   BTF trace archives (see [`tracecli`] and `docs/TRACES.md`),
 //! * Criterion micro-benchmarks of the simulator building blocks (`benches/`),
 //! * shared command-line and output helpers in [`harness`].
 
@@ -16,3 +18,4 @@
 pub mod experiments;
 pub mod harness;
 pub mod repro;
+pub mod tracecli;

@@ -76,8 +76,21 @@ impl Summary {
         self.outcomes.iter().filter(|o| !o.ok()).count()
     }
 
+    /// The outcomes sorted by wall clock, slowest experiment first — the
+    /// order `summary.json` reports, so runtime dominance (tab07's full 8-
+    /// and 16-core systems) is visible at the top of the artifact.
+    #[must_use]
+    pub fn outcomes_by_wall_clock(&self) -> Vec<&ExperimentOutcome> {
+        let mut sorted: Vec<&ExperimentOutcome> = self.outcomes.iter().collect();
+        sorted.sort_by(|a, b| b.wall_clock_seconds.total_cmp(&a.wall_clock_seconds));
+        sorted
+    }
+
     /// Serializes to the `summary.json` document of
-    /// [`schema::SUMMARY_FIELDS`].
+    /// [`schema::SUMMARY_FIELDS`]. The `experiments` array is sorted by
+    /// per-experiment wall clock, descending (see
+    /// [`Summary::outcomes_by_wall_clock`]); `outcomes` itself stays in
+    /// execution order.
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::obj(vec![
@@ -94,7 +107,12 @@ impl Summary {
             ("failed", Json::num(self.failed() as f64)),
             (
                 "experiments",
-                Json::Arr(self.outcomes.iter().map(ExperimentOutcome::to_json).collect()),
+                Json::Arr(
+                    self.outcomes_by_wall_clock()
+                        .into_iter()
+                        .map(ExperimentOutcome::to_json)
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -232,6 +250,42 @@ mod tests {
         assert!(err.contains("bogus"), "{err}");
         assert!(err.contains("fig10"), "error should list valid ids: {err}");
         assert!(select(Some(" , ")).is_err());
+    }
+
+    #[test]
+    fn summary_json_sorts_experiments_by_wall_clock_descending() {
+        let provenance =
+            Provenance::new("baseline/LRU", 2, &["lbm".to_string()], bard::RunLength::test(), 1);
+        let outcome = |id: &str, secs: f64| ExperimentOutcome {
+            id: id.into(),
+            title: format!("{id} title"),
+            error: None,
+            wall_clock_seconds: secs,
+            artifact_json: None,
+            artifact_csv: None,
+            records: 0,
+            deltas: Vec::new(),
+        };
+        let summary = Summary {
+            provenance,
+            outcomes: vec![outcome("fig02", 1.5), outcome("tab07", 240.0), outcome("tab01", 0.01)],
+        };
+        // In-memory outcomes keep execution order; the JSON surfaces the
+        // runtime dominance (tab07 first).
+        let sorted: Vec<&str> =
+            summary.outcomes_by_wall_clock().iter().map(|o| o.id.as_str()).collect();
+        assert_eq!(sorted, ["tab07", "fig02", "tab01"]);
+        let json_ids: Vec<String> = summary
+            .to_json()
+            .get("experiments")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|e| e.get("id").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(json_ids, ["tab07", "fig02", "tab01"]);
+        assert_eq!(summary.outcomes[0].id, "fig02", "execution order is untouched");
     }
 
     #[test]

@@ -1,10 +1,59 @@
 //! Full-system configuration (Table II of the paper).
 
+use std::path::PathBuf;
+
 use bard_cache::ReplacementKind;
 use bard_cpu::CoreConfig;
 use bard_dram::DramConfig;
 
+use crate::experiment::RunLength;
 use crate::policy::WritePolicyKind;
+
+/// Where a run's traces live and how many instructions per core each
+/// archived trace must hold (see `bard-trace`'s `TraceStore`).
+///
+/// When a [`SystemConfig`] carries a `TraceConfig`, `System::new` obtains
+/// every core's trace from the store instead of wiring the generator in
+/// directly: an archived BTF file is replayed, a missing one is captured
+/// from the live generator first (record-if-missing / replay-if-present).
+/// Replay is bitwise-equivalent to live generation, so flipping this field
+/// never changes a result — it only changes where the records come from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Directory of the BTF trace archive (the `--trace-dir=DIR` flag).
+    pub dir: PathBuf,
+    /// Instruction budget per core each archived trace must cover.
+    pub instructions_per_core: u64,
+}
+
+impl TraceConfig {
+    /// A trace configuration with an explicit instruction budget.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>, instructions_per_core: u64) -> Self {
+        Self { dir: dir.into(), instructions_per_core }
+    }
+
+    /// The budget every caller deriving traces from a [`RunLength`] uses:
+    /// the total simulated instructions plus 64 Ki of slack. A core consumes
+    /// at most the run's instructions plus its bounded fetch-ahead (the
+    /// 512-entry ROB and per-cycle staging limits), which the slack covers
+    /// with orders of magnitude to spare — so a recorded trace outlasts any
+    /// simulation of the same run length and a replay never wraps, staying
+    /// bitwise-identical to live generation. Strict replay in
+    /// `System` turns any violation into a loud panic rather than silent
+    /// divergence.
+    #[must_use]
+    pub fn budget_for(length: RunLength) -> u64 {
+        (length.functional_warmup + length.timed_warmup + length.measure).saturating_add(65_536)
+    }
+
+    /// A trace configuration whose budget covers runs of `length` (the form
+    /// the `--trace-dir=DIR` flag constructs).
+    #[must_use]
+    pub fn for_run_length(dir: impl Into<PathBuf>, length: RunLength) -> Self {
+        Self::new(dir, Self::budget_for(length))
+    }
+}
 
 /// Configuration of the simulated system: cores, cache hierarchy, LLC
 /// writeback policy and DRAM.
@@ -53,6 +102,8 @@ pub struct SystemConfig {
     pub writeback_buffer_entries: usize,
     /// Seed for the workload generators.
     pub seed: u64,
+    /// Trace archive to replay from / record into (`None` = generate live).
+    pub trace: Option<TraceConfig>,
 }
 
 impl SystemConfig {
@@ -81,6 +132,7 @@ impl SystemConfig {
             llc_mshrs: 128,
             writeback_buffer_entries: 32,
             seed: 0x1BAD_B002,
+            trace: None,
         }
     }
 
@@ -136,6 +188,21 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy with a different workload-generator seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy that records/replays traces through `trace`
+    /// (`None` reverts to live generation).
+    #[must_use]
+    pub fn with_trace(mut self, trace: Option<TraceConfig>) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// A short label describing the policy/replacement combination, used in
     /// reports ("bard-h/LRU", "baseline/SRRIP", ...).
     #[must_use]
@@ -160,6 +227,11 @@ impl SystemConfig {
         }
         if self.llc_mshrs == 0 || self.writeback_buffer_entries == 0 {
             return Err("MSHRs and writeback buffer must be non-empty".into());
+        }
+        if let Some(trace) = &self.trace {
+            if trace.instructions_per_core == 0 {
+                return Err("trace instruction budget must be non-zero".into());
+            }
         }
         self.dram.validate()
     }
@@ -221,5 +293,41 @@ mod tests {
     #[test]
     fn small_test_config_is_valid() {
         assert!(SystemConfig::small_test().validate().is_ok());
+    }
+
+    #[test]
+    fn seed_is_pinned_to_the_golden_traces() {
+        // bard-trace's workload_golden test hardcodes this value; changing
+        // the default seed invalidates every archived trace and the golden
+        // file, so do both together.
+        assert_eq!(SystemConfig::baseline_8core().seed, 0x1BAD_B002);
+    }
+
+    #[test]
+    fn trace_budget_outlasts_the_run() {
+        let length = RunLength::test();
+        let total = length.functional_warmup + length.timed_warmup + length.measure;
+        let budget = TraceConfig::budget_for(length);
+        assert!(budget > total + 65_535, "budget {budget} must exceed the run plus slack");
+        let tc = TraceConfig::for_run_length("/tmp/traces", length);
+        assert_eq!(tc.dir, std::path::Path::new("/tmp/traces"));
+        assert_eq!(tc.instructions_per_core, budget);
+    }
+
+    #[test]
+    fn seed_and_trace_builders_compose() {
+        let c = SystemConfig::small_test()
+            .with_seed(99)
+            .with_trace(Some(TraceConfig::new("/tmp/t", 1000)));
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.trace.as_ref().unwrap().instructions_per_core, 1000);
+        assert!(c.validate().is_ok());
+        assert!(c.with_trace(None).trace.is_none());
+    }
+
+    #[test]
+    fn zero_trace_budget_is_rejected() {
+        let c = SystemConfig::small_test().with_trace(Some(TraceConfig::new("/tmp/t", 0)));
+        assert!(c.validate().unwrap_err().contains("trace instruction budget"));
     }
 }

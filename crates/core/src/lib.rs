@@ -69,7 +69,7 @@ pub mod runner;
 pub mod system;
 
 pub use blp_tracker::BlpTracker;
-pub use config::SystemConfig;
+pub use config::{SystemConfig, TraceConfig};
 pub use experiment::{Comparison, RunLength};
 pub use llc::SlicedLlc;
 pub use metrics::{geomean, geomean_speedup_percent, speedup_percent, RunResult};
@@ -82,4 +82,5 @@ pub use system::System;
 pub use bard_cache as cache;
 pub use bard_cpu as cpu;
 pub use bard_dram as dram;
+pub use bard_trace as trace;
 pub use bard_workloads as workloads;

@@ -8,7 +8,10 @@
 //! [`SCHEMA_VERSION`] whenever a field is added, removed or changes meaning.
 
 /// Version stamped into every artifact and summary (`schema_version` key).
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: `summary.json`'s `experiments` array is sorted by per-experiment
+/// `wall_clock_seconds` descending (v1 used execution order).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Name, units and meaning of one schema field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +96,12 @@ pub const SUMMARY_FIELDS: &[FieldSpec] = &[
     field("wall_clock_seconds", "s", "Wall-clock time of the whole suite run"),
     field("total", "experiments", "Number of experiments attempted"),
     field("failed", "experiments", "Number of experiments that panicked"),
-    field("experiments", "-", "Per-experiment status entries (see summary experiment fields)"),
+    field(
+        "experiments",
+        "-",
+        "Per-experiment status entries, sorted by wall clock descending (see summary experiment \
+         fields)",
+    ),
 ];
 
 /// Keys of one `experiments[]` entry inside `summary.json`.

@@ -92,7 +92,7 @@ impl System {
             .enumerate()
             .map(|(i, w)| CoreCtx {
                 core: Core::new(config.core),
-                trace: w.build(i, config.seed),
+                trace: build_trace(&config, *w, i),
                 l1d: SetAssocCache::new(
                     CacheConfig::new(config.l1d_bytes, config.l1d_ways, config.line_bytes),
                     bard_cache::ReplacementKind::Lru,
@@ -664,6 +664,38 @@ impl System {
     }
 }
 
+/// Builds one core's trace source: straight from the workload generator, or
+/// — when the configuration carries a [`crate::TraceConfig`] — through the
+/// BTF trace archive (replaying an existing recording, capturing one first
+/// when the archive has none). Replay is bitwise-equivalent to live
+/// generation, so the two paths produce identical simulations.
+///
+/// # Panics
+///
+/// Panics if the archived trace cannot be read, fails its checksum, or does
+/// not match the requested `(workload, core, seed)` key. The returned replay
+/// is *strict*: running past the end of the recording (an undersized
+/// `instructions_per_core` budget) panics rather than wrapping, because a
+/// wrapped replay would silently break the bitwise-equivalence guarantee.
+fn build_trace(config: &SystemConfig, workload: WorkloadId, core: usize) -> Box<dyn TraceSource> {
+    let Some(tc) = &config.trace else {
+        return workload.build(core, config.seed);
+    };
+    let store = bard_trace::TraceStore::new(&tc.dir);
+    let replay = store
+        .obtain(workload.name(), core as u32, config.seed, tc.instructions_per_core, || {
+            workload.build(core, config.seed)
+        })
+        .unwrap_or_else(|e| {
+            panic!(
+                "trace archive {}: cannot obtain '{}' for core {core}: {e}",
+                tc.dir.display(),
+                workload.name()
+            )
+        });
+    Box::new(replay.strict())
+}
+
 fn completion_event(core: usize, req: &CoreRequest) -> Event {
     if req.kind == MemKind::Store {
         Event::CompleteStore { core, token: req.token }
@@ -766,6 +798,36 @@ mod tests {
         assert_eq!(system.cores.len(), 2);
         assert_eq!(system.cores[0].trace.name(), "cam4");
         assert_eq!(system.cores[1].trace.name(), "omnetpp");
+    }
+
+    #[test]
+    fn record_then_replay_reproduces_live_results_bitwise() {
+        use crate::config::TraceConfig;
+
+        let dir = std::env::temp_dir().join(format!("bard-system-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = |cfg: SystemConfig| {
+            let mut system = System::new(cfg, WorkloadId::Mix0);
+            system.run(150_000, 2_000, 10_000)
+        };
+        let live_cfg = SystemConfig::small_test();
+        let budget = 2 * (150_000 + 2_000 + 10_000) + 65_536;
+        let traced_cfg = live_cfg.clone().with_trace(Some(TraceConfig::new(&dir, budget)));
+
+        let live = run(live_cfg);
+        let recorded = run(traced_cfg.clone()); // first pass captures the BTF files
+        let replayed = run(traced_cfg); // second pass replays them
+        assert!(dir.read_dir().unwrap().count() >= 2, "one trace file per core");
+
+        for other in [&recorded, &replayed] {
+            assert_eq!(live.total_cycles, other.total_cycles);
+            assert_eq!(live.per_core_ipc, other.per_core_ipc);
+            assert_eq!(live.dram_stats.reads, other.dram_stats.reads);
+            assert_eq!(live.dram_stats.writes, other.dram_stats.writes);
+            assert_eq!(live.llc_stats.loads, other.llc_stats.loads);
+            assert_eq!(live.llc_stats.dirty_evictions, other.llc_stats.dirty_evictions);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

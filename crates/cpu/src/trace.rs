@@ -92,6 +92,16 @@ pub trait TraceSource: Send {
     fn name(&self) -> &str;
 }
 
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_record(&mut self) -> TraceRecord {
+        (**self).next_record()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
 /// A trace source that replays a fixed vector of records in a loop.
 #[derive(Debug, Clone)]
 pub struct VecTrace {
@@ -173,5 +183,13 @@ mod tests {
     fn mem_access_constructors() {
         assert!(MemAccess::store(4).is_store());
         assert!(!MemAccess::load(4).is_store());
+    }
+
+    #[test]
+    fn boxed_sources_are_sources_too() {
+        let mut boxed: Box<dyn TraceSource> =
+            Box::new(VecTrace::new("boxed", vec![TraceRecord::load(1, 0, 0x40)]));
+        assert_eq!(boxed.next_record().ip, 1);
+        assert_eq!(TraceSource::name(&boxed), "boxed");
     }
 }

@@ -1,0 +1,99 @@
+//! Error type shared by every BTF reader, writer and importer.
+
+/// Why a trace file (or text trace) could not be read or written.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying filesystem or stream error.
+    Io(std::io::Error),
+    /// The byte stream is not a well-formed BTF1 document.
+    Format {
+        /// Byte offset of the failure in the file.
+        offset: u64,
+        /// What went wrong.
+        message: String,
+    },
+    /// The records decoded cleanly but their checksum does not match the
+    /// header — the file was truncated-and-padded or corrupted in place.
+    Checksum {
+        /// Checksum stored in the header.
+        expected: u64,
+        /// Checksum computed over the decoded record bytes.
+        actual: u64,
+    },
+    /// The file is a BTF container of an unsupported version.
+    Version {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The file is valid but does not describe the requested trace
+    /// (wrong workload, core, seed or too few instructions).
+    Mismatch {
+        /// Human-readable description of the disagreement.
+        message: String,
+    },
+    /// A ChampSim-like text trace failed to parse.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Format { offset, message } => {
+                write!(f, "malformed BTF data at byte {offset}: {message}")
+            }
+            Self::Checksum { expected, actual } => write!(
+                f,
+                "checksum mismatch: header says {expected:#018x}, records hash to {actual:#018x} \
+                 (corrupted trace file)"
+            ),
+            Self::Version { found } => {
+                write!(f, "unsupported BTF version {found} (this build reads version 1)")
+            }
+            Self::Mismatch { message } => write!(f, "trace does not match the request: {message}"),
+            Self::Parse { line, message } => {
+                write!(f, "text trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_failure() {
+        let e = TraceError::Checksum { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("checksum mismatch"), "{e}");
+        let e = TraceError::Format { offset: 42, message: "bad tag".into() };
+        assert!(e.to_string().contains("byte 42"), "{e}");
+        let e = TraceError::Version { found: 9 };
+        assert!(e.to_string().contains("version 9"), "{e}");
+        let e = TraceError::Parse { line: 3, message: "x".into() };
+        assert!(e.to_string().contains("line 3"), "{e}");
+        let e = TraceError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,160 @@
+//! ChampSim-like text trace ingestion and export.
+//!
+//! External traces arrive as text, one instruction record per line:
+//!
+//! ```text
+//! # comment — blank lines and '#' lines are ignored
+//! <ip> <bubble> <kind> [<addr>]
+//! ```
+//!
+//! * `ip` and `addr` are hexadecimal (an optional `0x` prefix is accepted),
+//! * `bubble` is the decimal count of non-memory instructions preceding the
+//!   instruction at `ip`,
+//! * `kind` is `L` (load), `S` (store) or `-` (no memory access; `R`/`W`/`N`
+//!   are accepted as aliases). Loads and stores require the fourth column.
+//!
+//! [`parse_text`] turns such text into [`TraceRecord`]s (which the CLI's
+//! `import` subcommand then seals into a BTF1 file) and [`render_text`] is
+//! its exact inverse, used by the golden-trace tests and for eyeballing
+//! binary traces.
+
+use std::fmt::Write as _;
+
+use bard_cpu::{MemAccess, MemKind, TraceRecord};
+
+use crate::error::TraceError;
+
+/// Parses a ChampSim-like text trace.
+///
+/// # Errors
+///
+/// Returns a [`TraceError::Parse`] naming the first malformed line.
+pub fn parse_text(text: &str) -> Result<Vec<TraceRecord>, TraceError> {
+    let mut records = Vec::new();
+    for (index, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        records.push(
+            parse_line(line).map_err(|message| TraceError::Parse { line: index + 1, message })?,
+        );
+    }
+    Ok(records)
+}
+
+fn parse_line(line: &str) -> Result<TraceRecord, String> {
+    let mut fields = line.split_whitespace();
+    let ip =
+        parse_hex(fields.next().ok_or("missing ip field")?).map_err(|e| format!("bad ip: {e}"))?;
+    let bubble_text = fields.next().ok_or("missing bubble field")?;
+    let bubble: u32 =
+        bubble_text.parse().map_err(|_| format!("bad bubble '{bubble_text}' (decimal u32)"))?;
+    let kind = fields.next().ok_or("missing kind field (L, S or -)")?;
+    let access = match kind {
+        "L" | "R" => Some(MemKind::Load),
+        "S" | "W" => Some(MemKind::Store),
+        "-" | "N" => None,
+        other => return Err(format!("bad kind '{other}' (expected L, S or -)")),
+    };
+    let record = match access {
+        None => {
+            if let Some(extra) = fields.next() {
+                return Err(format!("unexpected field '{extra}' after '-'"));
+            }
+            TraceRecord::compute(ip, bubble)
+        }
+        Some(kind) => {
+            let addr = parse_hex(fields.next().ok_or("load/store is missing its address")?)
+                .map_err(|e| format!("bad address: {e}"))?;
+            if let Some(extra) = fields.next() {
+                return Err(format!("unexpected trailing field '{extra}'"));
+            }
+            TraceRecord { ip, bubble, access: Some(MemAccess { kind, addr }) }
+        }
+    };
+    Ok(record)
+}
+
+fn parse_hex(text: &str) -> Result<u64, String> {
+    let digits = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")).unwrap_or(text);
+    u64::from_str_radix(digits, 16).map_err(|_| format!("'{text}' is not a hex number"))
+}
+
+/// Renders records as the text format [`parse_text`] reads — the exact
+/// inverse of parsing.
+#[must_use]
+pub fn render_text(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        match r.access {
+            None => {
+                let _ = writeln!(out, "0x{:x} {} -", r.ip, r.bubble);
+            }
+            Some(access) => {
+                let kind = if access.is_store() { 'S' } else { 'L' };
+                let _ = writeln!(out, "0x{:x} {} {kind} 0x{:x}", r.ip, r.bubble, access.addr);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_format() {
+        let text = "\
+# a comment
+0x400 3 L 0x1000
+
+400 0 S 1040
+0x408 12 -
+0x410 1 W 0X80
+0x418 2 N
+";
+        let records = parse_text(text).unwrap();
+        assert_eq!(
+            records,
+            vec![
+                TraceRecord::load(0x400, 3, 0x1000),
+                TraceRecord::store(0x400, 0, 0x1040),
+                TraceRecord::compute(0x408, 12),
+                TraceRecord::store(0x410, 1, 0x80),
+                TraceRecord::compute(0x418, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn render_and_parse_are_inverses() {
+        let records = vec![
+            TraceRecord::compute(0, 0),
+            TraceRecord::load(u64::MAX, u32::MAX, 0x40),
+            TraceRecord::store(0x7fff_ffff_ffff, 9, u64::MAX),
+        ];
+        assert_eq!(parse_text(&render_text(&records)).unwrap(), records);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_text("0x400 0 L 0x10\nbogus-line\n").unwrap_err();
+        assert!(matches!(err, TraceError::Parse { line: 2, .. }), "{err}");
+        let cases = [
+            ("0x400", "missing bubble"),
+            ("0x400 1", "missing kind"),
+            ("0x400 1 X 0x10", "bad kind"),
+            ("0x400 1 L", "missing its address"),
+            ("0x400 zz L 0x10", "bad bubble"),
+            ("q 1 -", "bad ip"),
+            ("0x400 1 - extra", "unexpected field"),
+            ("0x400 1 L 0x10 extra", "unexpected trailing"),
+        ];
+        for (line, want) in cases {
+            let err = parse_text(line).unwrap_err();
+            assert!(err.to_string().contains(want), "{line}: {err}");
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Replaying a recorded trace as a live [`TraceSource`].
+
+use std::path::Path;
+
+use bard_cpu::{TraceRecord, TraceSource};
+
+use crate::error::TraceError;
+use crate::format::TraceHeader;
+use crate::reader::TraceReader;
+
+/// A [`TraceSource`] backed by a decoded BTF1 trace.
+///
+/// Replay is bitwise-equivalent to the live generator the trace was captured
+/// from: the decoded records are exactly the generator's output, so a
+/// simulation that consumes no more records than the file holds produces
+/// identical results. `TraceSource`s are infinite by contract, so a replay
+/// that runs past the end wraps around to the first record (like
+/// [`bard_cpu::VecTrace`]); [`ReplayWorkload::wraps`] reports how often that
+/// happened. Wrapping is the intended behaviour for finite *imported*
+/// traces, but for an archive standing in for live generation it means the
+/// results would silently diverge — consumers that rely on the equivalence
+/// guarantee (the simulator's `--trace-dir` path) opt into
+/// [`ReplayWorkload::strict`], which panics instead of wrapping.
+#[derive(Debug, Clone)]
+pub struct ReplayWorkload {
+    header: TraceHeader,
+    records: Vec<TraceRecord>,
+    position: usize,
+    wraps: u64,
+    strict: bool,
+}
+
+impl ReplayWorkload {
+    /// Decodes `path` fully (verifying its checksum) into a replayable
+    /// source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read, decode and checksum errors, and rejects empty traces
+    /// (a `TraceSource` must be able to produce a record).
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let (header, records) = TraceReader::open(path)?.read_all()?;
+        Self::from_parts(header, records)
+    }
+
+    /// Builds a replay from an already-decoded header and record vector
+    /// (used by the recording path, which holds both in memory).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty traces.
+    pub fn from_parts(header: TraceHeader, records: Vec<TraceRecord>) -> Result<Self, TraceError> {
+        if records.is_empty() {
+            return Err(TraceError::Mismatch {
+                message: format!("trace '{}' holds no records", header.workload),
+            });
+        }
+        Ok(Self { header, records, position: 0, wraps: 0, strict: false })
+    }
+
+    /// Returns a replay that panics instead of wrapping past the end of the
+    /// recording. Use when replay stands in for live generation and a wrap
+    /// would silently break bitwise equivalence (an undersized archive must
+    /// fail loudly, not repeat its prefix).
+    #[must_use]
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// The trace's self-describing header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Number of records before the replay wraps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Always false: construction rejects empty traces.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// How many times the replay has wrapped past the end of the recording.
+    /// Zero means every record served so far came straight from the file.
+    #[must_use]
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+}
+
+impl TraceSource for ReplayWorkload {
+    fn next_record(&mut self) -> TraceRecord {
+        if self.position == self.records.len() {
+            // Consuming exactly len() records is fine; only a request for a
+            // record beyond the recording wraps (or, strictly, fails).
+            assert!(
+                !self.strict,
+                "trace '{}' (core {}) exhausted its {} recorded instructions; a strict replay \
+                 must outlast the run — re-record with a larger budget",
+                self.header.workload, self.header.core, self.header.instructions
+            );
+            self.position = 0;
+            self.wraps += 1;
+        }
+        let record = self.records[self.position];
+        self.position += 1;
+        record
+    }
+
+    fn name(&self) -> &str {
+        &self.header.workload
+    }
+}

@@ -1,0 +1,94 @@
+//! Golden test pinning the first 64 [`bard_cpu::TraceRecord`]s of every
+//! registry workload (expanded onto two cores, the `small_test`
+//! configuration's shape) under the default generator seed.
+//!
+//! Replay equivalence — "a BTF archive reproduces a live run bitwise" —
+//! rests entirely on the generators being deterministic functions of
+//! `(workload, core, seed)`. This test freezes that contract: any change to
+//! a generator, to the registry parameters, or to the seed-mixing in
+//! `WorkloadId::build` shows up as a golden diff and must be made
+//! deliberately (existing archives become stale at the same moment).
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! BARD_BLESS=1 cargo test -p bard-trace --test workload_golden
+//! ```
+
+use bard_trace::render_text;
+use bard_workloads::WorkloadId;
+
+/// Default workload-generator seed (`SystemConfig::baseline_8core().seed`,
+/// pinned by `seed_is_pinned_to_the_golden_traces` in `bard::config`).
+const SEED: u64 = 0x1BAD_B002;
+
+/// Cores to expand each workload onto; two covers rate mode (same workload,
+/// different core offsets) and the first two constituents of every mix.
+const CORES: usize = 2;
+
+/// Records pinned per (workload, core).
+const RECORDS: usize = 64;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/workload_first64.txt");
+
+fn render_current() -> String {
+    let mut out = String::new();
+    out.push_str("# First 64 trace records of every registry workload (2 cores, default seed).\n");
+    out.push_str("# Regenerate: BARD_BLESS=1 cargo test -p bard-trace --test workload_golden\n");
+    for workload in WorkloadId::all() {
+        for (core, constituent) in workload.per_core_workloads(CORES).into_iter().enumerate() {
+            let mut source = constituent.build(core, SEED);
+            let records: Vec<_> = (0..RECORDS).map(|_| source.next_record()).collect();
+            out.push_str(&format!(
+                "\n## {} core {core} ({})\n",
+                workload.name(),
+                constituent.name()
+            ));
+            out.push_str(&render_text(&records));
+        }
+    }
+    out
+}
+
+#[test]
+fn first_64_records_of_every_workload_match_the_golden_file() {
+    let current = render_current();
+    if std::env::var_os("BARD_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &current).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    assert!(
+        golden == current,
+        "workload generator output drifted from the golden traces.\n\
+         Replay equivalence and archived BTF traces depend on generator \
+         determinism; if this change is intentional, regenerate with \
+         BARD_BLESS=1 cargo test -p bard-trace --test workload_golden\n\
+         first differing line: {}",
+        first_diff(&golden, &current)
+    );
+}
+
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!("line {}: golden {la:?} vs current {lb:?}", i + 1);
+        }
+    }
+    format!("line counts differ ({} vs {})", a.lines().count(), b.lines().count())
+}
+
+#[test]
+fn golden_covers_every_registry_workload() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    for workload in WorkloadId::all() {
+        assert!(
+            golden.contains(&format!("\n## {} core 0", workload.name())),
+            "golden file lacks a section for '{}'",
+            workload.name()
+        );
+    }
+    // 29 workloads x 2 cores x 64 records, plus section/comment lines.
+    let record_lines = golden.lines().filter(|l| l.starts_with("0x")).count();
+    assert_eq!(record_lines, WorkloadId::all().len() * CORES * RECORDS);
+}

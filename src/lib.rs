@@ -9,24 +9,34 @@
 //! * [`bard_dram`] — the DDR5 memory model.
 //! * [`bard_cache`] — caches, replacement policies, prefetchers.
 //! * [`bard_cpu`] — the trace-driven core model.
+//! * [`bard_trace`] — BTF binary trace capture, replay and ingestion.
 //! * [`bard_workloads`] — the synthetic workload registry.
 
 pub use bard;
 pub use bard_cache;
 pub use bard_cpu;
 pub use bard_dram;
+pub use bard_trace;
 pub use bard_workloads;
 
 /// A one-line sanity helper used by the repository smoke test.
 #[must_use]
 pub fn crate_inventory() -> Vec<&'static str> {
-    vec!["bard", "bard-dram", "bard-cache", "bard-cpu", "bard-workloads", "bard-bench"]
+    vec![
+        "bard",
+        "bard-dram",
+        "bard-cache",
+        "bard-cpu",
+        "bard-trace",
+        "bard-workloads",
+        "bard-bench",
+    ]
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn inventory_lists_all_crates() {
-        assert_eq!(super::crate_inventory().len(), 6);
+        assert_eq!(super::crate_inventory().len(), 7);
     }
 }

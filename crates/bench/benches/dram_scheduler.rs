@@ -19,7 +19,7 @@ fn drain_writes(addresses: &[u64]) -> u64 {
     let mut done = Vec::new();
     for cycle in 0..200_000u64 {
         mc.tick(cycle);
-        mc.drain_completed(&mut done);
+        mc.drain_completed(cycle, &mut done);
         if mc.stats().merged.drain_episodes > 0 {
             return cycle;
         }
@@ -44,7 +44,7 @@ fn bench(c: &mut Criterion) {
                 let mut cycle = 0;
                 while done.len() < 64 {
                     mc.tick(cycle);
-                    mc.drain_completed(&mut done);
+                    mc.drain_completed(cycle, &mut done);
                     cycle += 1;
                 }
                 cycle

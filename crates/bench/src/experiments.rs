@@ -613,9 +613,13 @@ fn tab07(cli: &Cli, a: &mut Artifact) {
         [("8", SystemConfig::baseline_8core()), ("16", SystemConfig::baseline_16core())]
     {
         // tab07 deliberately simulates the full 8/16-core systems whatever
-        // the CLI baseline is, but the seed and trace archive still follow
-        // the CLI so --seed= sweeps and --trace-dir= replay cover it too.
-        let base_cfg = base_cfg.with_seed(cli.config.seed).with_trace(cli.config.trace.clone());
+        // the CLI baseline is, but the seed, trace archive and engine still
+        // follow the CLI so --seed= sweeps, --trace-dir= replay and
+        // --engine= comparisons cover it too.
+        let base_cfg = base_cfg
+            .with_seed(cli.config.seed)
+            .with_trace(cli.config.trace.clone())
+            .with_engine(cli.config.engine);
         let bard_cfg = base_cfg.clone().with_policy(WritePolicyKind::BardH);
         let cmp =
             Comparison::run_on(&cli.runner(), &base_cfg, &bard_cfg, &cli.workloads, cli.length);

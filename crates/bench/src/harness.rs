@@ -15,6 +15,10 @@
 //!   way (see `docs/TRACES.md`),
 //! * `--jobs=N`: simulation worker threads (default: `BARD_JOBS` or all
 //!   host cores; `--jobs=1` forces the serial path),
+//! * `--engine=step|skip`: simulation engine (default: `BARD_ENGINE` or
+//!   `skip`). The cycle-skipping engine is bitwise-identical to the
+//!   reference step engine and much faster; `step` exists for parity checks
+//!   and bisection,
 //! * `--format=text|json|csv`: stdout format (default `text`, byte-identical
 //!   to the historical output),
 //! * `--out=DIR`: additionally write `DIR/<experiment>.json` and
@@ -29,7 +33,7 @@ use std::path::{Path, PathBuf};
 use bard::experiment::{run_workloads_on, Comparison, RunLength};
 use bard::report::{Artifact, Provenance};
 use bard::runner::{Job, Runner};
-use bard::{RunResult, SystemConfig, TraceConfig};
+use bard::{EngineKind, RunResult, SystemConfig, TraceConfig};
 use bard_workloads::WorkloadId;
 
 /// What an experiment binary writes to stdout.
@@ -103,6 +107,7 @@ impl Cli {
         let mut out = None;
         let mut seed = None;
         let mut trace_dir: Option<PathBuf> = None;
+        let mut engine = EngineKind::from_env();
         for arg in args {
             if arg == "--test" {
                 length = RunLength::test();
@@ -132,6 +137,11 @@ impl Cli {
                 trace_dir = Some(PathBuf::from(dir));
             } else if let Some(n) = arg.strip_prefix("--jobs=") {
                 jobs = n.parse().expect("--jobs=N needs a number");
+            } else if let Some(name) = arg.strip_prefix("--engine=") {
+                engine = Some(
+                    EngineKind::from_name(name)
+                        .unwrap_or_else(|name| panic!("unknown engine '{name}' (step|skip)")),
+                );
             } else if let Some(name) = arg.strip_prefix("--format=") {
                 format = OutputFormat::from_name(name)
                     .unwrap_or_else(|name| panic!("unknown format '{name}' (text|json|csv)"));
@@ -153,6 +163,9 @@ impl Cli {
         }
         if let Some(dir) = trace_dir {
             config.trace = Some(TraceConfig::for_run_length(dir, length));
+        }
+        if let Some(engine) = engine {
+            config.engine = engine;
         }
         Self { length, workloads, config, jobs, format, out }
     }
@@ -210,7 +223,7 @@ fn print_usage() {
     eprintln!(
         "usage: <experiment> [--test|--quick|--standard] [--singles|--mixes] \
          [--workloads=a,b,c] [--cores=N] [--seed=N] [--trace-dir=DIR] [--jobs=N] \
-         [--format=text|json|csv] [--out=DIR]"
+         [--engine=step|skip] [--format=text|json|csv] [--out=DIR]"
     );
 }
 
@@ -392,6 +405,23 @@ mod tests {
     #[should_panic(expected = "--jobs=N needs a number")]
     fn malformed_jobs_flag_panics() {
         let _ = Cli::from_args(["--jobs=lots".to_string()].into_iter());
+    }
+
+    #[test]
+    fn engine_flag_selects_the_simulation_engine() {
+        let cli = Cli::from_args(std::iter::empty());
+        assert_eq!(cli.config.engine, EngineKind::Skip, "skip is the default engine");
+        let cli = Cli::from_args(["--engine=step".to_string()].into_iter());
+        assert_eq!(cli.config.engine, EngineKind::Step);
+        // Flag order must not matter: presets replace the config wholesale.
+        let cli = Cli::from_args(["--engine=step".to_string(), "--test".to_string()].into_iter());
+        assert_eq!(cli.config.engine, EngineKind::Step);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown engine")]
+    fn unknown_engine_panics() {
+        let _ = Cli::from_args(["--engine=warp".to_string()].into_iter());
     }
 
     #[test]

@@ -55,6 +55,70 @@ impl TraceConfig {
     }
 }
 
+/// How [`crate::System`] advances simulated time.
+///
+/// Both engines run the *same* per-cycle model and produce bitwise-identical
+/// results (the `engine_parity` suite pins this); the skip engine is the
+/// default because it is strictly faster. The reference engine exists so
+/// parity stays testable forever. Selectable per run via the `--engine=` CLI
+/// flag or the `BARD_ENGINE` environment variable (see
+/// [`EngineKind::from_env`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Reference engine: one CPU cycle per step, no skipping.
+    Step,
+    /// Exact next-event engine (default): detects cycles on which no core,
+    /// cache, queue or DRAM state can change, computes the global event
+    /// horizon (minimum over the event heap, every sub-channel's wake cycle,
+    /// and pending read-completion deliveries) and jumps there in one step,
+    /// bulk-accounting all per-cycle statistics over the skipped span.
+    #[default]
+    Skip,
+}
+
+impl EngineKind {
+    /// Parses an engine name (`step` or `skip`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognised name.
+    pub fn from_name(name: &str) -> Result<Self, String> {
+        match name {
+            "step" => Ok(Self::Step),
+            "skip" => Ok(Self::Skip),
+            other => Err(other.to_string()),
+        }
+    }
+
+    /// Reads the `BARD_ENGINE` environment variable (`step` or `skip`).
+    /// Returns `None` when unset or empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised value — silently falling back would make
+    /// an engine comparison measure nothing.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        match std::env::var("BARD_ENGINE") {
+            Ok(v) if v.is_empty() => None,
+            Ok(v) => Some(
+                Self::from_name(&v)
+                    .unwrap_or_else(|v| panic!("BARD_ENGINE='{v}' (expected step|skip)")),
+            ),
+            Err(_) => None,
+        }
+    }
+
+    /// The engine's CLI/report name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Step => "step",
+            Self::Skip => "skip",
+        }
+    }
+}
+
 /// Configuration of the simulated system: cores, cache hierarchy, LLC
 /// writeback policy and DRAM.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,6 +168,9 @@ pub struct SystemConfig {
     pub seed: u64,
     /// Trace archive to replay from / record into (`None` = generate live).
     pub trace: Option<TraceConfig>,
+    /// Simulation engine (never affects results, only wall clock; see
+    /// [`EngineKind`]).
+    pub engine: EngineKind,
 }
 
 impl SystemConfig {
@@ -133,6 +200,7 @@ impl SystemConfig {
             writeback_buffer_entries: 32,
             seed: 0x1BAD_B002,
             trace: None,
+            engine: EngineKind::default(),
         }
     }
 
@@ -200,6 +268,14 @@ impl SystemConfig {
     #[must_use]
     pub fn with_trace(mut self, trace: Option<TraceConfig>) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Returns a copy simulated by `engine` (results are engine-invariant;
+    /// only wall clock changes).
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -323,6 +399,21 @@ mod tests {
         assert_eq!(c.trace.as_ref().unwrap().instructions_per_core, 1000);
         assert!(c.validate().is_ok());
         assert!(c.with_trace(None).trace.is_none());
+    }
+
+    #[test]
+    fn engine_defaults_to_skip_and_parses_names() {
+        assert_eq!(SystemConfig::baseline_8core().engine, EngineKind::Skip);
+        assert_eq!(EngineKind::from_name("step"), Ok(EngineKind::Step));
+        assert_eq!(EngineKind::from_name("skip"), Ok(EngineKind::Skip));
+        assert!(EngineKind::from_name("warp").is_err());
+        assert_eq!(EngineKind::Step.name(), "step");
+        let c = SystemConfig::small_test().with_engine(EngineKind::Step);
+        assert_eq!(c.engine, EngineKind::Step);
+        assert!(c.validate().is_ok());
+        // The engine never leaks into report labels: artifacts must be
+        // byte-identical across engines.
+        assert_eq!(c.label(), c.with_engine(EngineKind::Skip).label());
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub mod runner;
 pub mod system;
 
 pub use blp_tracker::BlpTracker;
-pub use config::{SystemConfig, TraceConfig};
+pub use config::{EngineKind, SystemConfig, TraceConfig};
 pub use experiment::{Comparison, RunLength};
 pub use llc::SlicedLlc;
 pub use metrics::{geomean, geomean_speedup_percent, speedup_percent, RunResult};

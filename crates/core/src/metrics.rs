@@ -8,7 +8,11 @@ use crate::policy::PolicyStats;
 
 /// Everything measured during one simulation run of one workload under one
 /// configuration.
-#[derive(Debug, Clone)]
+///
+/// Equality is field-wise and exact (including the `f64` metrics): two
+/// results compare equal only when the runs were bitwise-identical, which is
+/// what the engine/replay/runner parity suites assert.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Workload simulated.
     pub workload: WorkloadId,

@@ -5,6 +5,24 @@
 //! waiting cores, buffered LLC write-backs are pushed into the DRAM write
 //! queues, and every core retires and dispatches instructions from its trace.
 //! See the crate-level documentation for the overall flow.
+//!
+//! ## Engines
+//!
+//! Two engines advance time ([`crate::EngineKind`]); both run the identical
+//! per-cycle model above and produce bitwise-identical results:
+//!
+//! * **step** — the reference engine: one tick per CPU cycle.
+//! * **skip** (default) — the exact next-event engine: after a tick on which
+//!   *nothing* changed (no command issued or completed, no event fired, no
+//!   enqueue succeeded, no core dispatched or retired), the whole system is
+//!   in a stall fixed point: every following cycle repeats it exactly until
+//!   the next external trigger. The engine computes that **event horizon**
+//!   — the minimum over the event-heap head, every sub-channel's exact wake
+//!   cycle (earliest legal command issue, refresh, dead-row closure) and
+//!   the earliest read-completion delivery — jumps `cycle` there in one
+//!   step, and bulk-accounts the per-cycle statistics (core stall counters,
+//!   DRAM busy/write-mode/total cycles, and therefore background energy)
+//!   over the skipped span. See `docs/ARCHITECTURE.md`.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -13,11 +31,11 @@ use bard_cache::{
     CacheConfig, CacheStats, IpStridePrefetcher, MshrFile, NextLinePrefetcher, Prefetcher,
     SetAssocCache,
 };
-use bard_cpu::{Core, CoreRequest, MemKind, TraceSource};
+use bard_cpu::{Core, CoreRequest, CoreStats, MemKind, TraceSource};
 use bard_dram::{CompletedRead, EnergyBreakdown, MemRequest, MemoryController, SubChannelStats};
 use bard_workloads::WorkloadId;
 
-use crate::config::SystemConfig;
+use crate::config::{EngineKind, SystemConfig};
 use crate::llc::SlicedLlc;
 use crate::metrics::RunResult;
 
@@ -34,6 +52,33 @@ enum Event {
     CompleteStore { core: usize, token: u64 },
 }
 
+/// Compact per-core wake bookkeeping, kept in one contiguous array so the
+/// skip engine's per-tick sleep checks touch a couple of cache lines
+/// instead of eight scattered `CoreCtx`s.
+#[derive(Debug, Clone, Copy, Default)]
+struct WakeGate {
+    /// Monotonic count of completion events fired for this core.
+    events_fired: u64,
+    /// `events_fired` value when the core fell asleep.
+    events_seen: u64,
+    /// `shared_progress` value when the core fell asleep (meaningful only
+    /// when `watches_shared`).
+    shared_seen: u64,
+    /// Whether the sleeping core's stall involves memory back-pressure and
+    /// therefore watches `shared_progress` too.
+    watches_shared: bool,
+    /// Whether the core is asleep.
+    asleep: bool,
+}
+
+impl WakeGate {
+    /// True when something the sleeping core can observe has moved.
+    fn may_wake(&self, shared_progress: u64) -> bool {
+        self.events_fired != self.events_seen
+            || (self.watches_shared && self.shared_seen != shared_progress)
+    }
+}
+
 struct CoreCtx {
     core: Core,
     trace: Box<dyn TraceSource>,
@@ -44,6 +89,20 @@ struct CoreCtx {
     retry: VecDeque<CoreRequest>,
     finish_cycle: Option<u64>,
     retired_at_measure_start: u64,
+    /// Skip engine only (see `WakeGate`): first cycle the sleeping core did
+    /// not execute.
+    sleep_since: u64,
+    /// Statistics delta of the observed stall cycle, repeated verbatim by
+    /// every slept cycle; settled lazily on wake.
+    sleep_delta: CoreStats,
+}
+
+impl CoreCtx {
+    /// Applies the statistics of the cycles slept through `[sleep_since,
+    /// now)`.
+    fn settle(&mut self, now: u64) {
+        self.core.apply_stalled_cycles(&self.sleep_delta, now - self.sleep_since);
+    }
 }
 
 impl std::fmt::Debug for CoreCtx {
@@ -74,6 +133,19 @@ pub struct System {
     cycle: u64,
     scratch_completed: Vec<CompletedRead>,
     scratch_writebacks: Vec<u64>,
+    scratch_staged: Vec<CoreRequest>,
+    scratch_retry: Vec<CoreRequest>,
+    /// Monotonic count of shared-state transitions that can unblock a
+    /// back-pressured core: a buffered write-back or pending read entering a
+    /// DRAM queue, or the outstanding-miss set changing (MSHR allocate or
+    /// complete). A core asleep on memory back-pressure re-runs only when
+    /// this moves.
+    shared_progress: u64,
+    /// Per-core sleep/wake bookkeeping (skip engine).
+    gates: Vec<WakeGate>,
+    /// Number of cores not asleep; when zero and no wake counter moved this
+    /// tick, the whole core loop is skipped in O(1).
+    awake_cores: usize,
 }
 
 impl System {
@@ -114,6 +186,8 @@ impl System {
                 retry: VecDeque::new(),
                 finish_cycle: None,
                 retired_at_measure_start: 0,
+                sleep_since: 0,
+                sleep_delta: CoreStats::default(),
             })
             .collect();
         let llc = SlicedLlc::new(
@@ -129,6 +203,8 @@ impl System {
             (0..config.dram.channels).map(|ch| MemoryController::new(&config.dram, ch)).collect();
         Self {
             inflight: MshrFile::new(config.llc_mshrs),
+            gates: vec![WakeGate::default(); config.cores],
+            awake_cores: config.cores,
             config,
             workload,
             cores,
@@ -141,6 +217,9 @@ impl System {
             cycle: 0,
             scratch_completed: Vec::new(),
             scratch_writebacks: Vec::new(),
+            scratch_staged: Vec::new(),
+            scratch_retry: Vec::new(),
+            shared_progress: 0,
         }
     }
 
@@ -201,8 +280,13 @@ impl System {
         }
         let guard =
             self.cycle.saturating_add(instructions_per_core.saturating_mul(1_000).max(10_000));
+        let skip = self.config.engine == EngineKind::Skip;
         loop {
-            self.tick();
+            if skip {
+                self.tick_skipping(guard);
+            } else {
+                self.tick();
+            }
             let now = self.cycle;
             let mut all_done = true;
             for (ci, ctx) in self.cores.iter_mut().enumerate() {
@@ -215,9 +299,11 @@ impl System {
                 }
             }
             if all_done {
+                self.settle_cores();
                 return true;
             }
             if now >= guard {
+                self.settle_cores();
                 for ctx in &mut self.cores {
                     ctx.finish_cycle.get_or_insert(now);
                 }
@@ -229,6 +315,7 @@ impl System {
     /// Resets all statistics (end of warm-up) while keeping cache, tracker and
     /// queue state.
     pub fn reset_stats(&mut self) {
+        self.settle_cores();
         for ctx in &mut self.cores {
             ctx.core.reset_stats();
             ctx.l1d.reset_stats();
@@ -312,35 +399,154 @@ impl System {
     // Per-cycle simulation
     // ------------------------------------------------------------------
 
-    fn tick(&mut self) {
+    /// Advances the system by one CPU cycle. Returns `true` if anything
+    /// observable happened: a memory controller changed state, a completion
+    /// was delivered, a pending enqueue succeeded, an event fired or was
+    /// scheduled, or any core dispatched or retired an instruction. A
+    /// `false` tick is a stall fixed point: with all queues, caches, bank
+    /// timing and core state frozen, every subsequent tick repeats it
+    /// exactly until the next event horizon (see [`System::tick_skipping`]).
+    fn tick(&mut self) -> bool {
+        self.tick_inner(false)
+    }
+
+    /// One cycle of the shared model. `allow_sleep` enables the skip
+    /// engine's per-core sleeping; the reference step engine always runs
+    /// every core.
+    fn tick_inner(&mut self, allow_sleep: bool) -> bool {
         let now = self.cycle;
+        let event_seq_before = self.event_seq;
+        let mut active = false;
         for mc in &mut self.mcs {
-            mc.tick(now);
+            active |= mc.tick(now);
         }
         let mut done = std::mem::take(&mut self.scratch_completed);
         done.clear();
         for mc in &mut self.mcs {
-            mc.drain_completed(&mut done);
+            mc.drain_completed(now, &mut done);
         }
+        active |= !done.is_empty();
         for completed in done.drain(..) {
             self.handle_dram_response(completed, now);
         }
         self.scratch_completed = done;
 
-        self.flush_writebacks(now);
-        self.flush_dram_pending(now);
-        self.process_events(now);
+        active |= self.flush_writebacks(now);
+        active |= self.flush_dram_pending(now);
+        active |= self.process_events(now);
 
-        for ci in 0..self.cores.len() {
-            self.core_cycle(ci, now);
+        if !allow_sleep {
+            for ci in 0..self.cores.len() {
+                active |= self.core_cycle(ci, now);
+            }
+        } else if self.awake_cores > 0 || self.gates_may_wake() {
+            for ci in 0..self.cores.len() {
+                let gate = self.gates[ci];
+                if gate.asleep {
+                    if !gate.may_wake(self.shared_progress) {
+                        // The core's observed stall cycle repeats verbatim:
+                        // nothing it can see has changed. O(1) instead of a
+                        // full core cycle; statistics settle on wake.
+                        continue;
+                    }
+                    self.gates[ci].asleep = false;
+                    self.awake_cores += 1;
+                    self.cores[ci].settle(now);
+                }
+                let stats_before = *self.cores[ci].core.stats();
+                let progress = self.core_cycle(ci, now);
+                active |= progress;
+                if !progress {
+                    // A no-progress cycle is a fixed point: with unchanged
+                    // wake counters, every following cycle repeats its exact
+                    // statistics delta. Sleep until a counter moves
+                    // (conservative wakes are harmless — the core re-runs
+                    // its real cycle and re-sleeps; a missed wake would
+                    // break parity, so the counters cover every unblock
+                    // path: own load/store completions, and — for
+                    // back-pressured cores — DRAM-queue/MSHR transitions).
+                    let delta = self.cores[ci].core.stats().minus(&stats_before);
+                    let ctx = &mut self.cores[ci];
+                    ctx.sleep_since = now + 1;
+                    ctx.sleep_delta = delta;
+                    let gate = &mut self.gates[ci];
+                    gate.asleep = true;
+                    gate.events_seen = gate.events_fired;
+                    gate.watches_shared = !ctx.retry.is_empty();
+                    gate.shared_seen = self.shared_progress;
+                    self.awake_cores -= 1;
+                }
+            }
         }
+        active |= self.event_seq != event_seq_before;
         self.cycle = now + 1;
+        active
     }
 
-    fn core_cycle(&mut self, ci: usize, now: u64) {
-        let mut staged: Vec<CoreRequest> = Vec::new();
-        {
+    /// True when any sleeping core's wake condition may hold. Only called
+    /// with every core asleep, to decide whether the core loop can be
+    /// skipped outright.
+    fn gates_may_wake(&self) -> bool {
+        let shared = self.shared_progress;
+        self.gates.iter().any(|g| g.may_wake(shared))
+    }
+
+    /// Settles every sleeping core's lazily-accounted stall statistics up to
+    /// the current cycle and wakes it. Must run before statistics are read
+    /// or reset.
+    fn settle_cores(&mut self) {
+        let now = self.cycle;
+        for (ctx, gate) in self.cores.iter_mut().zip(&mut self.gates) {
+            if gate.asleep {
+                gate.asleep = false;
+                self.awake_cores += 1;
+                ctx.settle(now);
+            }
+        }
+    }
+
+    /// The skip engine's step: run one real tick (with per-core sleeping);
+    /// if it turned out to be a global stall fixed point, compute the event
+    /// horizon — the earliest cycle at which the event heap, a DRAM
+    /// sub-channel (command issue, refresh, dead-row closure) or a
+    /// read-completion delivery can act, capped at `limit` — and jump
+    /// straight there. Exact by construction: cores, queues and caches only
+    /// change through those triggers, so the skipped ticks are provably
+    /// identical no-ops. Sleeping cores (a quiet tick leaves every core
+    /// asleep) absorb the jump through their lazy stall accounting; DRAM
+    /// per-cycle statistics are bulk-accounted here.
+    fn tick_skipping(&mut self, limit: u64) {
+        if self.tick_inner(true) {
+            return;
+        }
+        let mut horizon = limit;
+        if let Some(Reverse((cycle, _, _))) = self.events.peek() {
+            horizon = horizon.min(*cycle);
+        }
+        for mc in &self.mcs {
+            horizon = horizon.min(mc.next_event_cycle());
+        }
+        let now = self.cycle;
+        if horizon <= now {
+            return;
+        }
+        for mc in &mut self.mcs {
+            mc.bulk_idle_advance(horizon - now);
+        }
+        self.cycle = horizon;
+    }
+
+    /// Runs one core for one cycle. Returns `true` if the core made forward
+    /// progress: it dispatched or retired at least one instruction, or its
+    /// retry queue shrank (a previously-refused request entered the
+    /// hierarchy). A `false` cycle only bumped stall counters and is
+    /// repeatable verbatim.
+    fn core_cycle(&mut self, ci: usize, now: u64) -> bool {
+        let mut staged = std::mem::take(&mut self.scratch_staged);
+        staged.clear();
+        let before = {
             let ctx = &mut self.cores[ci];
+            let before = (ctx.core.dispatched(), ctx.core.retired(), ctx.retry.len());
             let can_accept = ctx.retry.is_empty();
             ctx.core.cycle(&mut *ctx.trace, &mut |req| {
                 if can_accept && staged.len() < MAX_STAGED_PER_CYCLE {
@@ -350,16 +556,23 @@ impl System {
                     false
                 }
             });
-        }
-        let mut pending: Vec<CoreRequest> = self.cores[ci].retry.drain(..).collect();
-        pending.extend(staged);
+            before
+        };
+        let mut pending = std::mem::take(&mut self.scratch_retry);
+        pending.clear();
+        pending.extend(self.cores[ci].retry.drain(..));
+        pending.append(&mut staged);
+        self.scratch_staged = staged;
         let mut blocked = false;
-        for req in pending {
+        for req in pending.drain(..) {
             if blocked || !self.process_core_request(ci, req, now) {
                 blocked = true;
                 self.cores[ci].retry.push_back(req);
             }
         }
+        self.scratch_retry = pending;
+        let ctx = &self.cores[ci];
+        before != (ctx.core.dispatched(), ctx.core.retired(), ctx.retry.len())
     }
 
     fn process_core_request(&mut self, ci: usize, req: CoreRequest, now: u64) -> bool {
@@ -426,7 +639,10 @@ impl System {
         // DRAM
         let waiter = encode_waiter(ci, is_store, req.token);
         match self.inflight.allocate(line, waiter, is_store, false) {
-            Ok(true) => self.dram_pending.push_back(line),
+            Ok(true) => {
+                self.shared_progress += 1;
+                self.dram_pending.push_back(line);
+            }
             Ok(false) => {}
             Err(_) => return false,
         }
@@ -515,6 +731,7 @@ impl System {
             }
             let waiter = encode_prefetch_waiter(ci);
             if let Ok(true) = self.inflight.allocate(line, waiter, false, true) {
+                self.shared_progress += 1;
                 self.dram_pending.push_back(line)
             }
         }
@@ -525,6 +742,7 @@ impl System {
         let Some((waiters, _any_store, prefetch_only)) = self.inflight.complete(line) else {
             return;
         };
+        self.shared_progress += 1;
         // Fill the LLC through the writeback policy.
         {
             let mut wbs = std::mem::take(&mut self.scratch_writebacks);
@@ -603,7 +821,10 @@ impl System {
         }
     }
 
-    fn flush_writebacks(&mut self, now: u64) {
+    /// Returns `true` if at least one buffered write-back entered a DRAM
+    /// write queue.
+    fn flush_writebacks(&mut self, now: u64) -> bool {
+        let mut any = false;
         let mut attempts = self.writeback_pending.len();
         while attempts > 0 {
             attempts -= 1;
@@ -616,10 +837,16 @@ impl System {
                 self.writeback_pending.push_front(addr);
                 break;
             }
+            self.shared_progress += 1;
+            any = true;
         }
+        any
     }
 
-    fn flush_dram_pending(&mut self, now: u64) {
+    /// Returns `true` if at least one pending read entered a DRAM read
+    /// queue.
+    fn flush_dram_pending(&mut self, now: u64) -> bool {
+        let mut any = false;
         let mut attempts = self.dram_pending.len();
         while attempts > 0 {
             attempts -= 1;
@@ -632,22 +859,33 @@ impl System {
                 self.dram_pending.push_front(line);
                 break;
             }
+            self.shared_progress += 1;
+            any = true;
         }
+        any
     }
 
-    fn process_events(&mut self, now: u64) {
+    /// Returns `true` if at least one event fired.
+    fn process_events(&mut self, now: u64) -> bool {
+        let mut any = false;
         while let Some(Reverse((cycle, _, _))) = self.events.peek() {
             if *cycle > now {
                 break;
             }
             let Reverse((_, _, event)) = self.events.pop().expect("peeked");
+            any = true;
             match event {
-                Event::CompleteLoad { core, token } => self.cores[core].core.complete_load(token),
+                Event::CompleteLoad { core, token } => {
+                    self.gates[core].events_fired += 1;
+                    self.cores[core].core.complete_load(token);
+                }
                 Event::CompleteStore { core, token } => {
+                    self.gates[core].events_fired += 1;
                     self.cores[core].core.complete_store(token);
                 }
             }
         }
+        any
     }
 
     fn schedule(&mut self, cycle: u64, event: Event) {
@@ -828,6 +1066,70 @@ mod tests {
             assert_eq!(live.llc_stats.dirty_evictions, other.llc_stats.dirty_evictions);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The acceptance contract of the skip engine: bitwise-identical
+    /// results to the reference step engine, across read-heavy,
+    /// write-drain-heavy and mixed workloads and across policies.
+    #[test]
+    fn skip_engine_is_bitwise_identical_to_step_engine() {
+        use crate::config::EngineKind;
+        for (policy, workload) in [
+            (WritePolicyKind::Baseline, WorkloadId::Lbm),
+            (WritePolicyKind::Baseline, WorkloadId::Copy),
+            (WritePolicyKind::BardH, WorkloadId::Mix0),
+        ] {
+            let run = |engine: EngineKind| {
+                let cfg = SystemConfig::small_test().with_policy(policy).with_engine(engine);
+                let mut system = System::new(cfg, workload);
+                let result = system.run(150_000, 2_000, 10_000);
+                (result, system.cycle())
+            };
+            let (step, step_cycle) = run(EngineKind::Step);
+            let (skip, skip_cycle) = run(EngineKind::Skip);
+            assert_eq!(step_cycle, skip_cycle, "{workload:?}: final cycle diverged");
+            assert_eq!(step, skip, "{workload:?}/{policy:?}: results diverged");
+        }
+    }
+
+    /// The skip engine must also jump over the tail of a run that never
+    /// completes (all cores permanently stalled would hit the cycle guard),
+    /// landing on exactly the guard cycle the step engine reaches.
+    #[test]
+    fn skip_engine_respects_the_cycle_guard() {
+        use crate::config::EngineKind;
+        let run = |engine: EngineKind| {
+            // Starve the hierarchy (4 MSHRs, 2 write-back buffer slots for 8
+            // cores of lbm) so the run cannot retire its target within the
+            // 1000-cycles-per-instruction safety bound: the guard exit — and
+            // with it the skip engine's horizon-capped jump plus the settle
+            // of still-sleeping cores — is genuinely exercised.
+            let mut cfg = SystemConfig::small_test().with_engine(engine);
+            cfg.cores = 8;
+            cfg.llc_mshrs = 4;
+            cfg.writeback_buffer_entries = 2;
+            let mut system = System::new(cfg, WorkloadId::Lbm);
+            system.functional_warmup(30_000);
+            let completed = system.run_for_instructions(500);
+            let retired: Vec<u64> = system.cores.iter().map(|c| c.core.retired()).collect();
+            let stalls: Vec<u64> = system
+                .cores
+                .iter()
+                .map(|c| {
+                    let s = c.core.stats();
+                    s.cycles
+                        + s.head_blocked_cycles
+                        + s.rob_full_stalls
+                        + s.memory_backpressure_stalls
+                })
+                .collect();
+            (completed, system.cycle(), retired, stalls)
+        };
+        let step = run(EngineKind::Step);
+        let skip = run(EngineKind::Skip);
+        assert!(!step.0, "the run must hit the cycle guard for this test to bite");
+        assert_eq!(step.1, 500 * 1_000, "the guard must stop the run at exactly measure*1000");
+        assert_eq!(step, skip, "guard-terminated runs must be engine-invariant");
     }
 
     #[test]

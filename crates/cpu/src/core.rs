@@ -83,6 +83,43 @@ impl CoreStats {
             self.retired as f64 / self.cycles as f64
         }
     }
+
+    /// Field-wise difference `self - earlier`. All counters are monotonic,
+    /// so the result is the activity between two snapshots — the
+    /// cycle-skipping engine uses it to capture the per-cycle stall pattern
+    /// of a quiescent tick.
+    #[must_use]
+    pub fn minus(&self, earlier: &CoreStats) -> CoreStats {
+        CoreStats {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            retired: self.retired.saturating_sub(earlier.retired),
+            head_blocked_cycles: self
+                .head_blocked_cycles
+                .saturating_sub(earlier.head_blocked_cycles),
+            rob_full_stalls: self.rob_full_stalls.saturating_sub(earlier.rob_full_stalls),
+            store_buffer_stalls: self
+                .store_buffer_stalls
+                .saturating_sub(earlier.store_buffer_stalls),
+            memory_backpressure_stalls: self
+                .memory_backpressure_stalls
+                .saturating_sub(earlier.memory_backpressure_stalls),
+            loads_issued: self.loads_issued.saturating_sub(earlier.loads_issued),
+            stores_issued: self.stores_issued.saturating_sub(earlier.stores_issued),
+        }
+    }
+
+    /// Adds `times` copies of `delta` to every counter (bulk-accounting a
+    /// span of identical cycles in one step).
+    pub fn add_scaled(&mut self, delta: &CoreStats, times: u64) {
+        self.cycles += delta.cycles * times;
+        self.retired += delta.retired * times;
+        self.head_blocked_cycles += delta.head_blocked_cycles * times;
+        self.rob_full_stalls += delta.rob_full_stalls * times;
+        self.store_buffer_stalls += delta.store_buffer_stalls * times;
+        self.memory_backpressure_stalls += delta.memory_backpressure_stalls * times;
+        self.loads_issued += delta.loads_issued * times;
+        self.stores_issued += delta.stores_issued * times;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +181,25 @@ impl Core {
     #[must_use]
     pub fn retired(&self) -> u64 {
         self.stats.retired
+    }
+
+    /// Instructions dispatched into the ROB so far (monotonic). Together
+    /// with [`Core::retired`] this is the core's progress marker: a cycle on
+    /// which neither moved was a pure stall cycle, and — absent external
+    /// completions — every following cycle repeats it exactly.
+    #[must_use]
+    pub fn dispatched(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Bulk-accounts `span` stalled cycles in one step: `delta` is the
+    /// statistics delta one observed stall cycle produced (see
+    /// [`CoreStats::minus`]), which every skipped cycle would repeat. The
+    /// cycle-skipping engine calls this instead of running `span` identical
+    /// [`Core::cycle`]s; microarchitectural state is unchanged by
+    /// construction over such a span.
+    pub fn apply_stalled_cycles(&mut self, delta: &CoreStats, span: u64) {
+        self.stats.add_scaled(delta, span);
     }
 
     /// Resets the statistics counters (used at the end of warm-up) while
@@ -408,6 +464,43 @@ mod tests {
         }
         // 10 instructions per record; with width 4 over 100 cycles all retire.
         assert!(core.retired() >= 390);
+    }
+
+    /// The cycle-skipping engine's contract: once a core reports no progress
+    /// (dispatched and retired both unchanged over a cycle), every further
+    /// cycle with the same external conditions produces the same statistics
+    /// delta — so `apply_stalled_cycles` is exactly equivalent to running
+    /// the cycles one by one.
+    #[test]
+    fn stall_cycles_bulk_account_exactly() {
+        let make = || {
+            let mut core = Core::new(CoreConfig::baseline());
+            let mut trace = VecTrace::new("loads", vec![TraceRecord::load(0x10, 0, 0x40)]);
+            let mut refuse = |_req: CoreRequest| false;
+            // Reach the stall fixed point (first cycle fetches the record).
+            for _ in 0..2 {
+                core.cycle(&mut trace, &mut refuse);
+            }
+            (core, trace)
+        };
+        let (mut stepped, mut trace) = make();
+        let before = *stepped.stats();
+        let mut refuse = |_req: CoreRequest| false;
+        stepped.cycle(&mut trace, &mut refuse);
+        let delta = stepped.stats().minus(&before);
+        assert_eq!(delta.cycles, 1);
+        assert_eq!(delta.memory_backpressure_stalls, 1);
+        assert_eq!(delta.retired, 0);
+        // Step 9 more cycles on one core; bulk-account them on the other.
+        for _ in 0..9 {
+            stepped.cycle(&mut trace, &mut refuse);
+        }
+        let (mut bulk, mut trace2) = make();
+        let mut refuse2 = |_req: CoreRequest| false;
+        bulk.cycle(&mut trace2, &mut refuse2);
+        bulk.apply_stalled_cycles(&delta, 9);
+        assert_eq!(stepped.stats(), bulk.stats());
+        assert_eq!(stepped.dispatched(), bulk.dispatched());
     }
 
     #[test]

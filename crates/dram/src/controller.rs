@@ -15,7 +15,6 @@ pub struct MemoryController {
     mapping: AddressMapping,
     subchannels: Vec<SubChannel>,
     controller_latency: u64,
-    last_tick_cycle: u64,
     power_model: PowerModel,
     banks_per_group: usize,
     banks_per_subchannel: usize,
@@ -37,7 +36,6 @@ impl MemoryController {
                 .map(|_| SubChannel::new(config))
                 .collect(),
             controller_latency: config.controller_latency_cpu,
-            last_tick_cycle: 0,
             power_model: PowerModel::ddr5_default(),
             banks_per_group: config.banks_per_group,
             banks_per_subchannel: config.banks_per_subchannel(),
@@ -114,27 +112,57 @@ impl MemoryController {
         }
     }
 
-    /// Advances every sub-channel by one CPU cycle.
-    pub fn tick(&mut self, now: u64) {
-        self.last_tick_cycle = now;
+    /// Advances every sub-channel by one CPU cycle. Returns `true` if any
+    /// sub-channel changed state (issued a command, refreshed, closed a dead
+    /// row or switched bus mode).
+    pub fn tick(&mut self, now: u64) -> bool {
+        let mut active = false;
         for sub in &mut self.subchannels {
-            sub.tick(now);
+            active |= sub.tick(now);
         }
+        active
     }
 
-    /// Collects reads whose data (plus controller latency) is available.
-    pub fn drain_completed(&mut self, out: &mut Vec<CompletedRead>) {
+    /// Collects reads whose data (plus controller latency) is available at
+    /// cycle `now`: a read whose DRAM-side data is ready at cycle `r` is
+    /// delivered on the tick at `r + controller_latency`. The caller passes
+    /// the cycle explicitly so bulk-advanced spans can neither miss nor
+    /// double-deliver completions at span boundaries.
+    pub fn drain_completed(&mut self, now: u64, out: &mut Vec<CompletedRead>) {
         // Completion timestamps already include the DRAM-side latency; adding
         // the fixed controller latency here keeps the sub-channel clean.
         let latency = self.controller_latency;
         let before = out.len();
-        let now = self.last_tick_cycle + 1;
         for sub in &mut self.subchannels {
             sub.drain_completed(now.saturating_sub(latency), out);
         }
         for done in &mut out[before..] {
             done.ready_cycle += latency;
             done.latency += latency;
+        }
+    }
+
+    /// The channel's exact next interesting cycle: the minimum over every
+    /// sub-channel's wake horizon and the delivery cycle of its earliest
+    /// buffered read completion. Until that cycle (absent an enqueue) ticks
+    /// and drains are no-ops, so a cycle-skipping caller may jump straight
+    /// to it.
+    #[must_use]
+    pub fn next_event_cycle(&self) -> u64 {
+        let mut horizon = u64::MAX;
+        for sub in &self.subchannels {
+            horizon = horizon.min(sub.next_wake());
+            horizon =
+                horizon.min(sub.earliest_completion().saturating_add(self.controller_latency));
+        }
+        horizon
+    }
+
+    /// Bulk-accounts `span` idle cycles on every sub-channel (see
+    /// [`SubChannel::bulk_idle_advance`]).
+    pub fn bulk_idle_advance(&mut self, span: u64) {
+        for sub in &mut self.subchannels {
+            sub.bulk_idle_advance(span);
         }
     }
 
@@ -209,7 +237,7 @@ mod tests {
         let mut done = Vec::new();
         for cycle in 0..3_000 {
             mc.tick(cycle);
-            mc.drain_completed(&mut done);
+            mc.drain_completed(cycle, &mut done);
             if !done.is_empty() {
                 break;
             }
@@ -217,6 +245,48 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].id, 7);
         assert!(done[0].latency > cfg.controller_latency_cpu);
+    }
+
+    /// Boundary regression test for the "now = last tick + 1" reconstruction
+    /// bug: a completion whose DRAM data is ready at cycle `r` is delivered
+    /// on exactly the tick at `r + controller_latency` — never a cycle early
+    /// (the old off-by-one), never late, and exactly once.
+    #[test]
+    fn completions_deliver_exactly_at_ready_plus_controller_latency() {
+        let cfg = config();
+        let mut mc = MemoryController::new(&cfg, 0);
+        mc.try_enqueue(MemRequest::read(1, 0x1000, 0), 0).unwrap();
+        let mut done = Vec::new();
+        let mut delivered_at = None;
+        for cycle in 0..3_000 {
+            mc.tick(cycle);
+            let before = done.len();
+            mc.drain_completed(cycle, &mut done);
+            if done.len() > before && delivered_at.is_none() {
+                delivered_at = Some(cycle);
+            }
+        }
+        let delivered_at = delivered_at.expect("the read must complete");
+        assert_eq!(done.len(), 1, "a completion must be delivered exactly once");
+        assert_eq!(
+            done[0].ready_cycle, delivered_at,
+            "delivery tick must equal the latency-adjusted ready cycle"
+        );
+        // The delivery cycle is also the channel's event horizon just before
+        // it: draining one cycle earlier yields nothing.
+        let mut mc2 = MemoryController::new(&cfg, 0);
+        mc2.try_enqueue(MemRequest::read(1, 0x1000, 0), 0).unwrap();
+        let mut out = Vec::new();
+        for cycle in 0..delivered_at {
+            mc2.tick(cycle);
+            mc2.drain_completed(cycle, &mut out);
+        }
+        assert!(out.is_empty(), "nothing may deliver before the ready cycle");
+        assert_eq!(
+            mc2.next_event_cycle(),
+            delivered_at,
+            "the horizon must point at the pending completion"
+        );
     }
 
     #[test]
@@ -255,7 +325,7 @@ mod tests {
         let mut done = Vec::new();
         for cycle in 0..20_000 {
             mc.tick(cycle);
-            mc.drain_completed(&mut done);
+            mc.drain_completed(cycle, &mut done);
         }
         assert_eq!(done.len(), 16);
         assert!(mc.energy().total_pj() > 0.0);

@@ -35,7 +35,7 @@
 //! let mut done = Vec::new();
 //! for cycle in 0..2_000 {
 //!     mc.tick(cycle);
-//!     mc.drain_completed(&mut done);
+//!     mc.drain_completed(cycle, &mut done);
 //! }
 //! assert_eq!(done.len(), 1);
 //! ```

@@ -8,6 +8,20 @@
 //! lowest-latency write available, which is the baseline behaviour the paper
 //! assumes ("the memory controller tries to issue lower latency writes from
 //! the WRQ").
+//!
+//! ## Exact event-horizon sleeping
+//!
+//! When a tick issues nothing, the sub-channel computes its **exact** next
+//! interesting cycle — the minimum over the next refresh, the next dead-row
+//! closure, and the earliest cycle any queued command becomes legal given the
+//! frozen bank/bank-group/sub-channel timing state — and sleeps until then
+//! ([`SubChannel::next_wake`]). Between now and that cycle a tick is a pure
+//! statistics update, so ticks early-return and the system-level
+//! cycle-skipping engine may jump over the whole span in one step
+//! ([`SubChannel::bulk_idle_advance`]). Unlike the heuristic sleep this
+//! replaces, a command unblocked by a timing expiry (tFAW, tRC, tRAS, ...)
+//! issues on exactly the cycle the constraint expires, and dead rows are
+//! auto-precharged on exactly the cycle their precharge window opens.
 
 use std::collections::VecDeque;
 
@@ -74,9 +88,15 @@ pub struct SubChannel {
 
     next_refresh_at: u64,
     completed: Vec<CompletedRead>,
+    /// Cached minimum `ready_cycle` over `completed` (`u64::MAX` when
+    /// empty), so per-tick drains are O(1) until data is actually ready.
+    earliest_ready: u64,
     stats: SubChannelStats,
     cycles_offset: u64,
-    idle_until: u64,
+    /// Exact next cycle at which this sub-channel can do anything (issue a
+    /// command, refresh, or close a dead row). Ticks before this cycle only
+    /// account statistics. Reset to 0 (recompute) by any enqueue or issue.
+    wake_at: u64,
 }
 
 impl SubChannel {
@@ -116,9 +136,10 @@ impl SubChannel {
             episode_gaps: 0,
             last_write_issue: None,
             completed: Vec::new(),
+            earliest_ready: u64::MAX,
             stats: SubChannelStats::default(),
             cycles_offset: 0,
-            idle_until: 0,
+            wake_at: 0,
         }
     }
 
@@ -197,7 +218,7 @@ impl SubChannel {
         }
         req.enqueue_cycle = now;
         self.read_q.push_back(QueuedRequest { req, outcome: None });
-        self.idle_until = 0;
+        self.wake_at = 0;
         Ok(())
     }
 
@@ -215,24 +236,34 @@ impl SubChannel {
         }
         req.enqueue_cycle = now;
         self.write_q.push_back(QueuedRequest { req, outcome: None });
-        self.idle_until = 0;
+        self.wake_at = 0;
         Ok(())
     }
 
     /// Moves reads whose data is available by `now` into `out`.
     pub fn drain_completed(&mut self, now: u64, out: &mut Vec<CompletedRead>) {
+        if now < self.earliest_ready {
+            return;
+        }
         let mut i = 0;
+        let mut earliest = u64::MAX;
         while i < self.completed.len() {
             if self.completed[i].ready_cycle <= now {
                 out.push(self.completed.swap_remove(i));
             } else {
+                earliest = earliest.min(self.completed[i].ready_cycle);
                 i += 1;
             }
         }
+        self.earliest_ready = earliest;
     }
 
-    /// Advances the sub-channel by one CPU cycle.
-    pub fn tick(&mut self, now: u64) {
+    /// Advances the sub-channel by one CPU cycle. Returns `true` if any
+    /// state changed (a command issued, a refresh ran, a dead row closed, or
+    /// the bus switched mode); a `false` tick was a pure statistics update
+    /// and every tick until [`SubChannel::next_wake`] will be too (absent an
+    /// enqueue).
+    pub fn tick(&mut self, now: u64) -> bool {
         self.stats.cycles = (now + 1).saturating_sub(self.cycles_offset);
         if self.mode == BusMode::WriteDrain {
             self.stats.write_mode_cycles += 1;
@@ -241,17 +272,21 @@ impl SubChannel {
             self.stats.busy_cycles += 1;
         }
 
+        if now < self.wake_at {
+            return false;
+        }
+
+        let mut active = false;
         if self.refresh_enabled && now >= self.next_refresh_at {
             self.perform_refresh(now);
+            active = true;
         }
 
+        let mode_before = self.mode;
         self.update_mode(now);
+        active |= self.mode != mode_before;
 
-        if now < self.idle_until {
-            return;
-        }
-
-        self.close_dead_rows(now);
+        active |= self.close_dead_rows(now) > 0;
 
         let issued = match self.mode {
             BusMode::Read => self.schedule_read(now),
@@ -264,12 +299,111 @@ impl SubChannel {
             }
         };
 
-        if !issued {
-            // Nothing could issue this cycle; sleep briefly. Any enqueue
-            // resets `idle_until`, so this only skips redundant scans.
-            self.idle_until =
-                now + if self.read_q.is_empty() && self.write_q.is_empty() { 8 } else { 3 };
+        if issued {
+            // Another command may become legal immediately; scan again next
+            // cycle.
+            self.wake_at = 0;
+            return true;
         }
+        // Nothing could issue: sleep until the exact next event. Any enqueue
+        // resets `wake_at`, and refresh / dead-row closures are included in
+        // the horizon, so no state transition can be missed or delayed.
+        self.wake_at = self.compute_wake(now);
+        active
+    }
+
+    /// The exact next cycle at which this sub-channel can change state
+    /// without an intervening enqueue. Between the last tick and this cycle,
+    /// ticks are pure statistics updates. Read completions are tracked
+    /// separately (see [`SubChannel::earliest_completion`]).
+    #[must_use]
+    pub fn next_wake(&self) -> u64 {
+        self.wake_at
+    }
+
+    /// Earliest `ready_cycle` among completed reads not yet drained, or
+    /// `u64::MAX` when none are buffered.
+    #[must_use]
+    pub fn earliest_completion(&self) -> u64 {
+        self.earliest_ready
+    }
+
+    /// Bulk-accounts `span` idle cycles in one step: exactly what `span`
+    /// consecutive ticks strictly before [`SubChannel::next_wake`] (and
+    /// before the next completion drain) would have recorded. Used by the
+    /// cycle-skipping engine; queue contents, bus mode and bank state are
+    /// unchanged by construction over such a span.
+    pub fn bulk_idle_advance(&mut self, span: u64) {
+        self.stats.cycles += span;
+        if self.mode == BusMode::WriteDrain {
+            self.stats.write_mode_cycles += span;
+        }
+        if !self.read_q.is_empty() || !self.write_q.is_empty() {
+            self.stats.busy_cycles += span;
+        }
+    }
+
+    /// Computes the exact next interesting cycle after `now`: the minimum
+    /// over the next refresh, the next dead-row auto-precharge, and the
+    /// earliest legal issue among queued commands under the current bus
+    /// mode. All timing state is frozen until then, so the bound is exact —
+    /// the scheduler re-runs at exactly that cycle.
+    fn compute_wake(&self, now: u64) -> u64 {
+        let mut wake = u64::MAX;
+        if self.refresh_enabled {
+            wake = wake.min(self.next_refresh_at);
+        }
+        if self.page_policy != PagePolicy::Open {
+            for bank in &self.banks {
+                if bank.auto_precharge && bank.open_row.is_some() {
+                    wake = wake.min(bank.pre_ok_at);
+                }
+            }
+        }
+        match self.mode {
+            BusMode::Read => wake = wake.min(self.earliest_issue(&self.read_q, false)),
+            BusMode::WriteDrain => {
+                if self.ideal_writes {
+                    if !self.write_q.is_empty() {
+                        wake = wake.min(self.sub_wr_ok);
+                    }
+                } else {
+                    wake = wake.min(self.earliest_issue(&self.write_q, true));
+                }
+            }
+        }
+        // A candidate at or before `now` would have fired this tick; the
+        // clamp only guards the invariant `wake_at > now`.
+        wake.max(now + 1)
+    }
+
+    /// Earliest cycle at which any request in `queue` could issue a command
+    /// (column access on a row hit, activate on a closed bank, or precharge
+    /// on a conflict), mirroring the pass conditions of `schedule_read` /
+    /// `schedule_write` with the current timing state.
+    fn earliest_issue(&self, queue: &VecDeque<QueuedRequest>, write: bool) -> u64 {
+        let faw_at = if self.faw_window.len() < 4 {
+            0
+        } else {
+            *self.faw_window.front().expect("len checked") + self.timing.t_faw
+        };
+        let (sub_cas_ok, bg_cas_ok) =
+            if write { (self.sub_wr_ok, &self.bg_wr_ok) } else { (self.sub_rd_ok, &self.bg_rd_ok) };
+        let mut earliest = u64::MAX;
+        for q in queue {
+            let bank = q.req.decoded.bank_in_subchannel(self.banks_per_group);
+            let bg = q.req.decoded.bankgroup;
+            let b = &self.banks[bank];
+            let candidate = if b.is_row_hit(q.req.decoded.row) {
+                sub_cas_ok.max(b.cas_ok_at).max(bg_cas_ok[bg])
+            } else if b.is_closed() {
+                self.sub_act_ok.max(faw_at).max(b.act_ok_at).max(self.bg_act_ok[bg])
+            } else {
+                b.pre_ok_at
+            };
+            earliest = earliest.min(candidate);
+        }
+        earliest
     }
 
     fn update_mode(&mut self, now: u64) {
@@ -299,7 +433,7 @@ impl SubChannel {
         // data can start.
         let turnaround = self.timing.read_to_write_turnaround();
         self.sub_wr_ok = self.sub_wr_ok.max(now + turnaround);
-        self.idle_until = 0;
+        self.wake_at = 0;
     }
 
     fn end_drain(&mut self, now: u64) {
@@ -328,7 +462,7 @@ impl SubChannel {
         // Write-to-read turnaround before reads may resume.
         let turnaround = self.timing.write_to_read_turnaround();
         self.sub_rd_ok = self.sub_rd_ok.max(now + turnaround);
-        self.idle_until = 0;
+        self.wake_at = 0;
     }
 
     fn perform_refresh(&mut self, now: u64) {
@@ -346,18 +480,21 @@ impl SubChannel {
     }
 
     /// Closes rows flagged for auto-precharge by the adaptive open-page
-    /// policy. This does not consume a command slot (auto-precharge rides on
-    /// the preceding column command).
-    fn close_dead_rows(&mut self, now: u64) {
+    /// policy, returning the number of rows closed. This does not consume a
+    /// command slot (auto-precharge rides on the preceding column command).
+    fn close_dead_rows(&mut self, now: u64) -> u64 {
         if self.page_policy == PagePolicy::Open {
-            return;
+            return 0;
         }
+        let mut closed = 0;
         for bank in &mut self.banks {
             if bank.auto_precharge && bank.open_row.is_some() && bank.pre_ok_at <= now {
                 bank.precharge(now, self.timing.t_rp);
                 self.stats.precharges += 1;
+                closed += 1;
             }
         }
+        closed
     }
 
     fn bank_index(&self, req: &MemRequest) -> usize {
@@ -538,6 +675,7 @@ impl SubChannel {
         let ready = now + t.cl + t.burst;
         self.stats.reads += 1;
         self.stats.read_latency_cycles += ready.saturating_sub(q.req.enqueue_cycle);
+        self.earliest_ready = self.earliest_ready.min(ready);
         self.completed.push(CompletedRead {
             id: q.req.id,
             addr: q.req.addr,
@@ -905,6 +1043,111 @@ mod tests {
         let bank = req.decoded.bank_in_subchannel(cfg.banks_per_group);
         sc.enqueue_write(req, 0).unwrap();
         assert_eq!(sc.pending_write_banks(), 1 << bank);
+    }
+
+    /// Regression test for the heuristic idle-sleep bug: a queued request
+    /// whose only blocker is a bank-timing expiry (here tFAW) must issue on
+    /// exactly the cycle the constraint expires, not up to 8 cycles later.
+    /// The first four ACTs are paced by tRRD_S; the fifth is gated solely by
+    /// the four-activate window opened at cycle 0.
+    #[test]
+    fn activate_blocked_only_by_tfaw_issues_at_the_exact_expiry() {
+        let mut cfg = config();
+        // Stretch tFAW so it (not tRRD) gates the fifth activate.
+        cfg.timing.t_faw = 100;
+        let t = cfg.timing.to_cpu_cycles();
+        let mapping = AddressMapping::new(&cfg);
+        let mut sc = SubChannel::new(&cfg);
+        // Five reads to five distinct bank groups (hence five distinct,
+        // closed banks) so only tRRD_S / tFAW pace the activates.
+        for bg in 0..5usize {
+            let addr = addrs_where(&mapping, 1, |d| d.bankgroup == bg)[0];
+            sc.enqueue_read(make_req(&mapping, bg as u64, RequestKind::Read, addr), 0).unwrap();
+        }
+        let mut act_cycles = Vec::new();
+        let mut seen = 0;
+        for cycle in 0..1_000 {
+            sc.tick(cycle);
+            if sc.stats().activates > seen {
+                seen = sc.stats().activates;
+                act_cycles.push(cycle);
+            }
+        }
+        let rrd = t.t_rrd_s;
+        let expected = vec![0, rrd, 2 * rrd, 3 * rrd, t.t_faw];
+        assert_eq!(
+            act_cycles, expected,
+            "the fifth ACT must issue exactly when the tFAW window expires"
+        );
+    }
+
+    /// Regression test for dead-row closure being deferred while
+    /// idle-sleeping: under the adaptive open-page policy a dead row is
+    /// auto-precharged on exactly the cycle its precharge window opens
+    /// (max of tRAS after the ACT and tRTP after the RD), and the computed
+    /// wake horizon points at that cycle.
+    #[test]
+    fn dead_row_closes_exactly_when_the_precharge_window_opens() {
+        let cfg = config();
+        assert_eq!(cfg.page_policy, PagePolicy::AdaptiveOpen);
+        let t = cfg.timing.to_cpu_cycles();
+        let mapping = AddressMapping::new(&cfg);
+        let mut sc = SubChannel::new(&cfg);
+        let addr = addrs_where(&mapping, 1, |_| true)[0];
+        let req = make_req(&mapping, 1, RequestKind::Read, addr);
+        let bank = req.decoded.bank_in_subchannel(cfg.banks_per_group);
+        sc.enqueue_read(req, 0).unwrap();
+
+        // ACT at 0, RD as soon as tRCD expires; no other request targets the
+        // row, so the read marks the row dead (auto-precharge).
+        let act_cycle = 0;
+        let read_cycle = t.t_rcd;
+        let close_cycle = (act_cycle + t.t_ras).max(read_cycle + t.t_rtp);
+        let mut pre_cycles = Vec::new();
+        let mut seen = 0;
+        for cycle in 0..1_000 {
+            sc.tick(cycle);
+            if sc.stats().precharges > seen {
+                seen = sc.stats().precharges;
+                pre_cycles.push(cycle);
+            }
+            if cycle == read_cycle + 1 {
+                assert!(sc.banks[bank].auto_precharge, "the row must be flagged dead");
+                assert_eq!(
+                    sc.next_wake(),
+                    close_cycle,
+                    "the wake horizon must point at the dead-row closure"
+                );
+            }
+        }
+        assert_eq!(pre_cycles, vec![close_cycle], "closure must not be deferred");
+        assert!(sc.banks[bank].open_row.is_none(), "the dead row must be closed");
+        assert_eq!(sc.stats().reads, 1);
+    }
+
+    /// `bulk_idle_advance` must account exactly what per-cycle ticks before
+    /// the wake horizon would have: total, busy and write-mode cycles.
+    #[test]
+    fn bulk_idle_advance_matches_per_cycle_ticks() {
+        let cfg = config();
+        let mapping = AddressMapping::new(&cfg);
+        let mut ticked = SubChannel::new(&cfg);
+        let addr = addrs_where(&mapping, 1, |_| true)[0];
+        ticked.enqueue_read(make_req(&mapping, 1, RequestKind::Read, addr), 0).unwrap();
+        let mut skipped = ticked.clone();
+
+        // Advance both to cycle 10 (the ACT at 0 makes the next cycles
+        // idle until tRCD expires), then cover [10, 40) per-cycle vs bulk.
+        for cycle in 0..10 {
+            ticked.tick(cycle);
+            skipped.tick(cycle);
+        }
+        assert!(skipped.next_wake() >= 40, "span under test must be idle");
+        for cycle in 10..40 {
+            ticked.tick(cycle);
+        }
+        skipped.bulk_idle_advance(30);
+        assert_eq!(ticked.stats(), skipped.stats());
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! CI perf-smoke guard: re-measures the `sim_engine` reference shape in
+//! quick mode and fails when simulated-cycles/s regresses against the
+//! recorded baseline in `crates/bench/benches/BENCH_sim_engine.json`.
+//!
+//! Two checks, both read from the baseline file's `perf_smoke` object:
+//!
+//! * **ratio** (primary, machine-independent): the skip-engine speedup over
+//!   the step engine must stay within `ratio_tolerance` (20%) of the
+//!   recorded speedup — a fast path that stops paying off fails CI even on
+//!   a runner whose absolute speed differs from the reference host.
+//! * **floor** (catastrophe guard): the skip engine's absolute
+//!   simulated-cycles/s must stay above `floor_fraction` of the recorded
+//!   reference — generous slack for runner variance, but a model-wide
+//!   slowdown that halves throughput everywhere still fails.
+//!
+//! Run manually with `cargo run --release --bin perf_smoke`.
+
+use std::time::Instant;
+
+use bard::experiment::RunLength;
+use bard::report::json::Json;
+use bard::{EngineKind, System, SystemConfig};
+use bard_workloads::WorkloadId;
+
+/// The shape `BENCH_sim_engine.json` records for the smoke check.
+const WORKLOAD: WorkloadId = WorkloadId::Lbm;
+const CORES: usize = 2;
+
+fn simulate(engine: EngineKind, length: RunLength) -> u64 {
+    let mut cfg = SystemConfig::small_test().with_engine(engine);
+    cfg.cores = CORES;
+    let mut system = System::new(cfg, WORKLOAD);
+    system.run(length.functional_warmup, length.timed_warmup, length.measure);
+    system.cycle()
+}
+
+/// Best simulated-cycles/s over a few attempts (shields against one-off
+/// scheduler hiccups on shared runners).
+fn cycles_per_sec(engine: EngineKind, length: RunLength) -> f64 {
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            let cycles = simulate(engine, length);
+            cycles as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0f64, f64::max)
+}
+
+fn get_num(json: &Json, path: &[&str]) -> f64 {
+    let mut node = json;
+    for key in path {
+        node = node
+            .get(key)
+            .unwrap_or_else(|| panic!("BENCH_sim_engine.json: missing key '{}'", path.join(".")));
+    }
+    node.as_f64()
+        .unwrap_or_else(|| panic!("BENCH_sim_engine.json: '{}' not a number", path.join(".")))
+}
+
+fn main() {
+    let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/benches/BENCH_sim_engine.json");
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
+    let json = Json::parse(&text).expect("BENCH_sim_engine.json must parse");
+    let recorded_speedup = get_num(&json, &["perf_smoke", "skip_over_step"]);
+    let recorded_skip = get_num(&json, &["perf_smoke", "skip_cycles_per_sec"]);
+    let ratio_tolerance = get_num(&json, &["perf_smoke", "ratio_tolerance"]);
+    let floor_fraction = get_num(&json, &["perf_smoke", "floor_fraction"]);
+
+    let length = RunLength { functional_warmup: 100_000, timed_warmup: 2_000, measure: 10_000 };
+    let step = cycles_per_sec(EngineKind::Step, length);
+    let skip = cycles_per_sec(EngineKind::Skip, length);
+    let speedup = skip / step;
+    println!(
+        "perf_smoke: {} {}c step={step:.3e} skip={skip:.3e} cycles/s speedup={speedup:.2}x \
+         (recorded {recorded_speedup:.2}x @ {recorded_skip:.3e})",
+        WORKLOAD.name(),
+        CORES,
+    );
+
+    let mut failed = false;
+    let min_speedup = recorded_speedup * (1.0 - ratio_tolerance);
+    if speedup < min_speedup {
+        eprintln!(
+            "perf_smoke FAIL: skip/step speedup {speedup:.2}x fell below {min_speedup:.2}x \
+             ({:.0}% tolerance on the recorded {recorded_speedup:.2}x)",
+            ratio_tolerance * 100.0
+        );
+        failed = true;
+    }
+    let floor = recorded_skip * floor_fraction;
+    if skip < floor {
+        eprintln!(
+            "perf_smoke FAIL: skip engine {skip:.3e} simulated-cycles/s fell below the \
+             {floor:.3e} floor ({:.0}% of the recorded reference)",
+            floor_fraction * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("perf_smoke: ok");
+}

@@ -1,0 +1,247 @@
+//! Differential stress harness: the executable contract that every fast
+//! path in the simulator is bitwise-faithful to the reference
+//! implementations it bypasses.
+//!
+//! The simulator deliberately keeps two independent implementations of each
+//! performance-critical mechanism:
+//!
+//! * **time advance** — the reference `step` engine vs the exact next-event
+//!   `skip` engine ([`bard::EngineKind`]),
+//! * **DRAM command scheduling** — the full-queue `scan` scheduler vs the
+//!   per-bank `incremental` scheduler ([`bard_dram::SchedulerKind`]).
+//!
+//! Any `(engine, scheduler)` combination must produce a **bitwise
+//! identical** [`RunResult`] (every counter, every `f64`) and byte-identical
+//! artifact text for any workload, configuration and run length. This module
+//! provides the machinery the stress tests (and any future fast path) build
+//! on: randomized configuration sampling over the dimensions that steer the
+//! hot paths (core count, queue capacities and watermarks, MSHR budget,
+//! page policy, refresh, device width, prefetchers, replacement and
+//! writeback policies), plus the cross-product runner and its assertion.
+//!
+//! Adding a fast path? Give it a reference twin, add the knob to
+//! [`all_paths`] (or a new sampling dimension to [`StressCase::random`]) and
+//! the existing suites extend their guarantee to it — see the "parity-test
+//! obligations" section of `docs/ARCHITECTURE.md`.
+
+use bard::experiment::RunLength;
+use bard::report::{Artifact, Provenance};
+use bard::{EngineKind, RunResult, System, SystemConfig, WritePolicyKind};
+use bard_cache::ReplacementKind;
+use bard_dram::{DramConfig, PagePolicy, SchedulerKind};
+use bard_workloads::rng::SmallRng;
+use bard_workloads::WorkloadId;
+
+/// One randomized differential test case: a configuration, a workload and a
+/// run length, independent of the engine/scheduler path used to simulate it.
+#[derive(Debug, Clone)]
+pub struct StressCase {
+    /// Human-readable description for assertion messages.
+    pub label: String,
+    /// System configuration (its `engine` / `dram.scheduler` fields are
+    /// overridden per path).
+    pub config: SystemConfig,
+    /// Workload to simulate.
+    pub workload: WorkloadId,
+    /// Warm-up and measurement lengths.
+    pub length: RunLength,
+}
+
+/// The engine × scheduler cross product every case is pushed through.
+#[must_use]
+pub fn all_paths() -> [(EngineKind, SchedulerKind); 4] {
+    [
+        (EngineKind::Step, SchedulerKind::Scan),
+        (EngineKind::Step, SchedulerKind::Incremental),
+        (EngineKind::Skip, SchedulerKind::Scan),
+        (EngineKind::Skip, SchedulerKind::Incremental),
+    ]
+}
+
+impl StressCase {
+    /// Samples a random case. The dimensions are chosen to steer every hot
+    /// path: tiny MSHR / write-back budgets force memory back-pressure and
+    /// core sleeping, small write queues with proportional watermarks force
+    /// frequent drain-mode switches, page policies exercise the dead-row
+    /// machinery, and the full workload registry covers streaming,
+    /// irregular, write-heavy and mixed behaviour.
+    #[must_use]
+    pub fn random(rng: &mut SmallRng, index: usize) -> Self {
+        let mut config = SystemConfig::small_test();
+        config.cores = rng.gen_range(1usize..=4);
+        config.seed = rng.next_u64();
+        config.write_policy = *pick(
+            rng,
+            &[
+                WritePolicyKind::Baseline,
+                WritePolicyKind::BardE,
+                WritePolicyKind::BardC,
+                WritePolicyKind::BardH,
+                WritePolicyKind::EagerWriteback,
+                WritePolicyKind::VirtualWriteQueue,
+            ],
+        );
+        config.llc_replacement =
+            *pick(rng, &[ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Ship]);
+        config.l1_prefetch_degree = *pick(rng, &[0usize, 0, 2]);
+        config.l2_prefetch_degree = *pick(rng, &[0usize, 0, 1]);
+        config.llc_mshrs = *pick(rng, &[4usize, 16, 128]);
+        config.writeback_buffer_entries = *pick(rng, &[2usize, 8, 32]);
+
+        let mut dram = if rng.gen_bool(0.25) {
+            DramConfig::ddr5_4800_x8()
+        } else {
+            DramConfig::ddr5_4800_x4()
+        };
+        dram = dram.with_write_queue_entries(*pick(rng, &[16usize, 24, 48]));
+        dram.page_policy = *pick(
+            rng,
+            &[
+                PagePolicy::AdaptiveOpen,
+                PagePolicy::AdaptiveOpen,
+                PagePolicy::Open,
+                PagePolicy::Closed,
+            ],
+        );
+        dram.refresh_enabled = rng.gen_bool(0.75);
+        if rng.gen_bool(0.125) {
+            dram.ideal_writes = true;
+        }
+        config.dram = dram;
+
+        let all = WorkloadId::all();
+        let workload = all[rng.gen_range(0usize..all.len())];
+        let length = RunLength {
+            functional_warmup: rng.gen_range(20_000u64..=50_000),
+            timed_warmup: rng.gen_range(0u64..=2_000),
+            measure: rng.gen_range(1_500u64..=3_500),
+        };
+        let label = format!(
+            "case {index}: {} cores={} policy={} mshrs={} wq={} page={:?} refresh={} ideal={}",
+            workload.name(),
+            config.cores,
+            config.write_policy.label(),
+            config.llc_mshrs,
+            config.dram.write_queue_entries,
+            config.dram.page_policy,
+            config.dram.refresh_enabled,
+            config.dram.ideal_writes,
+        );
+        Self { label, config, workload, length }
+    }
+
+    /// A hand-picked case that saturates the DRAM queues: many cores of a
+    /// write-heavy streaming workload against a single small write queue and
+    /// a starved MSHR file, so the schedulers spend the whole run at queue
+    /// saturation — the regime the incremental scheduler exists for.
+    #[must_use]
+    pub fn saturated(workload: WorkloadId) -> Self {
+        let mut config = SystemConfig::small_test();
+        config.cores = 4;
+        config.llc_mshrs = 32;
+        config.writeback_buffer_entries = 32;
+        config.dram = DramConfig::ddr5_4800_x4().with_write_queue_entries(16);
+        Self {
+            label: format!("saturated {}", workload.name()),
+            config,
+            workload,
+            length: RunLength { functional_warmup: 40_000, timed_warmup: 1_000, measure: 4_000 },
+        }
+    }
+
+    /// Simulates this case along one `(engine, scheduler)` path, returning
+    /// the run result, the final simulated cycle and the rendered artifact
+    /// text + CSV (which must all be path-invariant).
+    #[must_use]
+    pub fn run_path(&self, engine: EngineKind, scheduler: SchedulerKind) -> PathOutcome {
+        let mut config = self.config.clone().with_engine(engine);
+        config.dram.scheduler = scheduler;
+        let mut system = System::new(config, self.workload);
+        let result = system.run(
+            self.length.functional_warmup,
+            self.length.timed_warmup,
+            self.length.measure,
+        );
+        let final_cycle = system.cycle();
+        let (text, csv) = self.render_artifact(&result);
+        PathOutcome { result, final_cycle, text, csv }
+    }
+
+    /// Runs the case through all four paths and asserts that every result,
+    /// final cycle, artifact text and artifact CSV is bitwise identical.
+    /// Returns the (canonical) result for further assertions.
+    #[must_use]
+    pub fn assert_paths_agree(&self) -> RunResult {
+        let mut reference: Option<(PathOutcome, &'static str)> = None;
+        for (engine, scheduler) in all_paths() {
+            let name: &'static str = match (engine, scheduler) {
+                (EngineKind::Step, SchedulerKind::Scan) => "step/scan",
+                (EngineKind::Step, SchedulerKind::Incremental) => "step/incremental",
+                (EngineKind::Skip, SchedulerKind::Scan) => "skip/scan",
+                (EngineKind::Skip, SchedulerKind::Incremental) => "skip/incremental",
+            };
+            let outcome = self.run_path(engine, scheduler);
+            match &reference {
+                None => reference = Some((outcome, name)),
+                Some((reference, ref_name)) => {
+                    assert_eq!(
+                        reference.final_cycle, outcome.final_cycle,
+                        "{}: final cycle diverged between {ref_name} and {name}",
+                        self.label
+                    );
+                    assert_eq!(
+                        reference.result, outcome.result,
+                        "{}: RunResult diverged between {ref_name} and {name}",
+                        self.label
+                    );
+                    assert_eq!(
+                        reference.text, outcome.text,
+                        "{}: artifact text diverged between {ref_name} and {name}",
+                        self.label
+                    );
+                    assert_eq!(
+                        reference.csv, outcome.csv,
+                        "{}: artifact CSV diverged between {ref_name} and {name}",
+                        self.label
+                    );
+                }
+            }
+        }
+        reference.expect("at least one path ran").0.result
+    }
+
+    /// Renders the result as a minimal artifact (text + CSV). The
+    /// provenance is built field-by-field so no per-path wall clock or
+    /// subprocess output can leak into the comparison.
+    fn render_artifact(&self, result: &RunResult) -> (String, String) {
+        let provenance = Provenance {
+            config_label: self.config.label(),
+            cores: self.config.cores,
+            workloads: vec![self.workload.name().to_string()],
+            run_length: self.length,
+            jobs: 1,
+            git_describe: None,
+            wall_clock_seconds: 0.0,
+        };
+        let mut artifact = Artifact::new("differential", "Differential", &self.label, provenance);
+        artifact.records_from(std::slice::from_ref(result));
+        (artifact.render_text(), artifact.to_csv())
+    }
+}
+
+/// What one `(engine, scheduler)` path produced.
+#[derive(Debug, Clone)]
+pub struct PathOutcome {
+    /// The collected run result.
+    pub result: RunResult,
+    /// Final simulated cycle of the run.
+    pub final_cycle: u64,
+    /// Rendered artifact text.
+    pub text: String,
+    /// Rendered artifact CSV.
+    pub csv: String,
+}
+
+fn pick<'a, T>(rng: &mut SmallRng, choices: &'a [T]) -> &'a T {
+    &choices[rng.gen_range(0usize..choices.len())]
+}

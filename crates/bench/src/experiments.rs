@@ -613,13 +613,14 @@ fn tab07(cli: &Cli, a: &mut Artifact) {
         [("8", SystemConfig::baseline_8core()), ("16", SystemConfig::baseline_16core())]
     {
         // tab07 deliberately simulates the full 8/16-core systems whatever
-        // the CLI baseline is, but the seed, trace archive and engine still
-        // follow the CLI so --seed= sweeps, --trace-dir= replay and
-        // --engine= comparisons cover it too.
-        let base_cfg = base_cfg
+        // the CLI baseline is, but the seed, trace archive, engine and
+        // scheduler still follow the CLI so --seed= sweeps, --trace-dir=
+        // replay and --engine=/--sched= comparisons cover it too.
+        let mut base_cfg = base_cfg
             .with_seed(cli.config.seed)
             .with_trace(cli.config.trace.clone())
             .with_engine(cli.config.engine);
+        base_cfg.dram.scheduler = cli.config.dram.scheduler;
         let bard_cfg = base_cfg.clone().with_policy(WritePolicyKind::BardH);
         let cmp =
             Comparison::run_on(&cli.runner(), &base_cfg, &bard_cfg, &cli.workloads, cli.length);

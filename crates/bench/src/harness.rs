@@ -19,6 +19,10 @@
 //!   `skip`). The cycle-skipping engine is bitwise-identical to the
 //!   reference step engine and much faster; `step` exists for parity checks
 //!   and bisection,
+//! * `--sched=scan|incremental`: DRAM command-scheduler implementation
+//!   (default: `BARD_SCHED` or `incremental`). Both produce bitwise-identical
+//!   results; `scan` is the full-queue reference kept for differential
+//!   testing,
 //! * `--format=text|json|csv`: stdout format (default `text`, byte-identical
 //!   to the historical output),
 //! * `--out=DIR`: additionally write `DIR/<experiment>.json` and
@@ -34,6 +38,7 @@ use bard::experiment::{run_workloads_on, Comparison, RunLength};
 use bard::report::{Artifact, Provenance};
 use bard::runner::{Job, Runner};
 use bard::{EngineKind, RunResult, SystemConfig, TraceConfig};
+use bard_dram::SchedulerKind;
 use bard_workloads::WorkloadId;
 
 /// What an experiment binary writes to stdout.
@@ -108,6 +113,7 @@ impl Cli {
         let mut seed = None;
         let mut trace_dir: Option<PathBuf> = None;
         let mut engine = EngineKind::from_env();
+        let mut scheduler = SchedulerKind::from_env();
         for arg in args {
             if arg == "--test" {
                 length = RunLength::test();
@@ -142,6 +148,10 @@ impl Cli {
                     EngineKind::from_name(name)
                         .unwrap_or_else(|name| panic!("unknown engine '{name}' (step|skip)")),
                 );
+            } else if let Some(name) = arg.strip_prefix("--sched=") {
+                scheduler = Some(SchedulerKind::from_name(name).unwrap_or_else(|name| {
+                    panic!("unknown scheduler '{name}' (scan|incremental)")
+                }));
             } else if let Some(name) = arg.strip_prefix("--format=") {
                 format = OutputFormat::from_name(name)
                     .unwrap_or_else(|name| panic!("unknown format '{name}' (text|json|csv)"));
@@ -166,6 +176,9 @@ impl Cli {
         }
         if let Some(engine) = engine {
             config.engine = engine;
+        }
+        if let Some(scheduler) = scheduler {
+            config.dram.scheduler = scheduler;
         }
         Self { length, workloads, config, jobs, format, out }
     }
@@ -223,7 +236,7 @@ fn print_usage() {
     eprintln!(
         "usage: <experiment> [--test|--quick|--standard] [--singles|--mixes] \
          [--workloads=a,b,c] [--cores=N] [--seed=N] [--trace-dir=DIR] [--jobs=N] \
-         [--engine=step|skip] [--format=text|json|csv] [--out=DIR]"
+         [--engine=step|skip] [--sched=scan|incremental] [--format=text|json|csv] [--out=DIR]"
     );
 }
 
@@ -422,6 +435,27 @@ mod tests {
     #[should_panic(expected = "unknown engine")]
     fn unknown_engine_panics() {
         let _ = Cli::from_args(["--engine=warp".to_string()].into_iter());
+    }
+
+    #[test]
+    fn sched_flag_selects_the_dram_scheduler() {
+        let cli = Cli::from_args(std::iter::empty());
+        assert_eq!(
+            cli.config.dram.scheduler,
+            SchedulerKind::Incremental,
+            "incremental is the default scheduler"
+        );
+        let cli = Cli::from_args(["--sched=scan".to_string()].into_iter());
+        assert_eq!(cli.config.dram.scheduler, SchedulerKind::Scan);
+        // Flag order must not matter: presets replace the config wholesale.
+        let cli = Cli::from_args(["--sched=scan".to_string(), "--test".to_string()].into_iter());
+        assert_eq!(cli.config.dram.scheduler, SchedulerKind::Scan);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn unknown_scheduler_panics() {
+        let _ = Cli::from_args(["--sched=magic".to_string()].into_iter());
     }
 
     #[test]

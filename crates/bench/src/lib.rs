@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod differential;
 pub mod experiments;
 pub mod harness;
 pub mod repro;

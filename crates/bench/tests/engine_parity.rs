@@ -7,10 +7,14 @@
 //!
 //! * registry workloads at 1, 4 and 8 cores, step vs skip — every workload
 //!   at every core count under `BARD_PARITY=full` (the CI release-mode
-//!   acceptance sweep), a representative cross-section by default so the
+//!   acceptance sweep, which also crosses the scan vs incremental DRAM
+//!   schedulers), a representative cross-section by default so the
 //!   debug-mode tier-1 run stays affordable,
 //! * serial vs parallel runner execution crossed with the engines,
-//! * live generation vs BTF trace replay crossed with the engines.
+//! * live generation vs BTF trace replay crossed with the engines and with
+//!   both DRAM schedulers,
+//! * write-queue saturation shapes crossed over every (engine, scheduler)
+//!   path (randomized sweeps live in `differential_stress.rs`).
 //!
 //! Anything the skip engine mis-accounts over a slept or jumped span (a
 //! stall counter, a DRAM busy cycle, a completion delivered a cycle early
@@ -21,6 +25,8 @@ use std::path::{Path, PathBuf};
 use bard::experiment::{run_workloads_on, RunLength};
 use bard::runner::Runner;
 use bard::{EngineKind, RunResult, SystemConfig, TraceConfig};
+use bard_bench::differential::StressCase;
+use bard_dram::SchedulerKind;
 use bard_workloads::WorkloadId;
 
 /// A scratch directory removed on drop.
@@ -68,7 +74,20 @@ fn run_set(
     jobs: usize,
     trace_dir: Option<&Path>,
 ) -> Vec<RunResult> {
-    run_workloads_on(&Runner::new(jobs), &config(cores, engine, trace_dir), workloads, tiny())
+    run_set_sched(workloads, cores, engine, SchedulerKind::default(), jobs, trace_dir)
+}
+
+fn run_set_sched(
+    workloads: &[WorkloadId],
+    cores: usize,
+    engine: EngineKind,
+    scheduler: SchedulerKind,
+    jobs: usize,
+    trace_dir: Option<&Path>,
+) -> Vec<RunResult> {
+    let mut cfg = config(cores, engine, trace_dir);
+    cfg.dram.scheduler = scheduler;
+    run_workloads_on(&Runner::new(jobs), &cfg, workloads, tiny())
 }
 
 fn assert_identical(step: &[RunResult], skip: &[RunResult], context: &str) {
@@ -99,9 +118,45 @@ fn registry_workloads_are_engine_invariant_at_1_4_8_cores() {
         let step = run_set(set, cores, EngineKind::Step, 1, None);
         let skip = run_set(set, cores, EngineKind::Skip, 1, None);
         assert_identical(&step, &skip, &format!("cores={cores}"));
+        if full_sweep() {
+            // The release-mode acceptance sweep also pins the DRAM-scheduler
+            // cross: the reference scan under skip must match as well.
+            let scan = run_set_sched(set, cores, EngineKind::Skip, SchedulerKind::Scan, 1, None);
+            assert_identical(&step, &scan, &format!("cores={cores} sched=scan"));
+        }
         saw_drains |= step.iter().any(|r| r.dram_stats.drain_episodes > 0);
     }
     assert!(saw_drains, "the sweep must stress write-drain episodes");
+}
+
+/// Write-queue saturation crossed over every (engine, scheduler) path,
+/// through the **runner** (the coverage `differential_stress.rs` does not
+/// add): the saturation shape itself is owned by
+/// `bard_bench::differential::StressCase::saturated` so the two suites can
+/// never drift onto different regimes.
+#[test]
+fn saturated_write_queues_are_engine_and_scheduler_invariant() {
+    let set = [WorkloadId::Copy, WorkloadId::Lbm];
+    let mut baseline: Option<Vec<RunResult>> = None;
+    for engine in [EngineKind::Step, EngineKind::Skip] {
+        for scheduler in [SchedulerKind::Scan, SchedulerKind::Incremental] {
+            let mut cfg = StressCase::saturated(WorkloadId::Copy).config.with_engine(engine);
+            cfg.dram.scheduler = scheduler;
+            let got = run_workloads_on(&Runner::new(1), &cfg, &set, tiny());
+            assert!(
+                got.iter().all(|r| r.dram_stats.busy_cycles >= r.dram_stats.cycles),
+                "the saturation shape must keep the queues occupied"
+            );
+            match &baseline {
+                None => baseline = Some(got),
+                Some(baseline) => assert_identical(
+                    baseline,
+                    &got,
+                    &format!("saturated engine={} sched={}", engine.name(), scheduler.name()),
+                ),
+            }
+        }
+    }
 }
 
 /// Serial-vs-parallel cross-check: the runner's job decomposition must not
@@ -119,19 +174,26 @@ fn serial_and_parallel_runs_agree_across_engines() {
 }
 
 /// Live-vs-replay cross-check: an archive recorded under one engine replays
-/// bitwise-identically under the other (trace capture happens at the
-/// workload-generator layer, which engines never touch).
+/// bitwise-identically under the other and under both DRAM schedulers
+/// (trace capture happens at the workload-generator layer, which neither
+/// engines nor schedulers touch).
 #[test]
-fn trace_replay_is_engine_invariant() {
+fn trace_replay_is_engine_and_scheduler_invariant() {
     let tmp = TempDir::new("replay");
     let set = [WorkloadId::Lbm, WorkloadId::Mix0];
     let live = run_set(&set, 2, EngineKind::Step, 1, None);
-    // Recording pass under skip populates the archive; replay under both
-    // engines must reproduce the live results.
+    // Recording pass under skip populates the archive; replay under every
+    // (engine, scheduler) path must reproduce the live results.
     let recorded = run_set(&set, 2, EngineKind::Skip, 1, Some(&tmp.0));
     assert_identical(&live, &recorded, "recording pass (skip)");
-    let replay_step = run_set(&set, 2, EngineKind::Step, 1, Some(&tmp.0));
-    let replay_skip = run_set(&set, 2, EngineKind::Skip, 1, Some(&tmp.0));
-    assert_identical(&live, &replay_step, "replay pass (step)");
-    assert_identical(&live, &replay_skip, "replay pass (skip)");
+    for engine in [EngineKind::Step, EngineKind::Skip] {
+        for scheduler in [SchedulerKind::Scan, SchedulerKind::Incremental] {
+            let replay = run_set_sched(&set, 2, engine, scheduler, 1, Some(&tmp.0));
+            assert_identical(
+                &live,
+                &replay,
+                &format!("replay pass ({}/{})", engine.name(), scheduler.name()),
+            );
+        }
+    }
 }

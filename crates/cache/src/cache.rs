@@ -57,6 +57,11 @@ pub struct FillResult {
     pub evicted: Option<EvictedLine>,
 }
 
+/// Tag-array sentinel for an invalid way. Line addresses are line-aligned
+/// (line sizes are powers of two > 1), so all-ones can never collide with a
+/// real tag.
+const TAG_INVALID: u64 = u64::MAX;
+
 /// A set-associative, write-back, write-allocate cache.
 #[derive(Debug)]
 pub struct SetAssocCache {
@@ -65,10 +70,14 @@ pub struct SetAssocCache {
     line_shift: u32,
     set_mask: u64,
     lines: Vec<CacheLine>,
+    /// Dense tag array mirroring `lines` (`TAG_INVALID` for invalid ways):
+    /// the lookup hot path scans 8 contiguous bytes per way instead of a
+    /// 24-byte `CacheLine`, which matters because every simulated memory
+    /// access probes up to three cache levels.
+    tags: Vec<u64>,
     reused: Vec<bool>,
     policy: Box<dyn ReplacementPolicy>,
     stats: CacheStats,
-    scratch_order: Vec<usize>,
 }
 
 impl SetAssocCache {
@@ -82,10 +91,10 @@ impl SetAssocCache {
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: (sets as u64) - 1,
             lines: vec![CacheLine::empty(); sets * config.ways],
+            tags: vec![TAG_INVALID; sets * config.ways],
             reused: vec![false; sets * config.ways],
             policy: replacement.build(sets, config.ways),
             stats: CacheStats::default(),
-            scratch_order: Vec::with_capacity(config.ways),
         }
     }
 
@@ -149,7 +158,8 @@ impl SetAssocCache {
     pub fn probe(&self, addr: u64) -> Option<usize> {
         let set = self.set_of(addr);
         let line_addr = self.line_addr(addr);
-        self.lines_in_set(set).iter().position(|l| l.valid && l.addr == line_addr)
+        let base = set * self.config.ways;
+        self.tags[base..base + self.config.ways].iter().position(|&t| t == line_addr)
     }
 
     /// Demand access: on a hit, recency state is updated, the dirty bit is set
@@ -210,7 +220,9 @@ impl SetAssocCache {
     pub fn victim_way(&mut self, addr: u64) -> usize {
         let set = self.set_of(addr);
         let base = set * self.config.ways;
-        if let Some(way) = (0..self.config.ways).find(|w| !self.lines[base + w].valid) {
+        if let Some(way) =
+            self.tags[base..base + self.config.ways].iter().position(|&t| t == TAG_INVALID)
+        {
             return way;
         }
         self.policy.victim(set)
@@ -240,11 +252,15 @@ impl SetAssocCache {
     /// lines (LRU→MRU, or highest→lowest RRPV).
     #[must_use]
     pub fn eviction_order(&mut self, set: usize) -> Vec<usize> {
-        let mut order = std::mem::take(&mut self.scratch_order);
-        self.policy.eviction_order(set, &mut order);
-        let cloned = order.clone();
-        self.scratch_order = order;
-        cloned
+        let mut order = Vec::with_capacity(self.config.ways);
+        self.eviction_order_into(set, &mut order);
+        order
+    }
+
+    /// [`SetAssocCache::eviction_order`] into a caller-owned buffer
+    /// (cleared first), avoiding the per-call allocation on hot paths.
+    pub fn eviction_order_into(&mut self, set: usize, out: &mut Vec<usize>) {
+        self.policy.eviction_order(set, out);
     }
 
     /// Removes the line in `way` of `set`. Returns the evicted line if it was
@@ -257,6 +273,7 @@ impl SetAssocCache {
         let line = self.lines[idx];
         self.policy.on_evict(set, way, self.reused[idx]);
         self.lines[idx] = CacheLine::empty();
+        self.tags[idx] = TAG_INVALID;
         self.reused[idx] = false;
         if line.dirty {
             self.stats.dirty_evictions += 1;
@@ -291,6 +308,7 @@ impl SetAssocCache {
         let idx = set * self.config.ways + way;
         debug_assert!(!self.lines[idx].valid, "fill_at target must be empty");
         self.lines[idx] = CacheLine::filled(self.line_addr(addr), dirty, signature);
+        self.tags[idx] = self.line_addr(addr);
         self.reused[idx] = false;
         self.stats.fills += 1;
         self.policy.on_insert(set, way, signature);

@@ -1,6 +1,40 @@
 //! Miss-status holding registers (MSHRs) with request merging.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher for the line-address keys (Fx/wyhash-style). The MSHR
+/// map sits on the simulator's hottest path — every demand miss, coalesce,
+/// back-pressure re-check and completion hashes a line address — and the
+/// standard SipHash costs several times the surrounding work. Line addresses
+/// are already well-distributed in their middle bits; one multiply by a
+/// random-odd constant and a high-bit fold is plenty. Determinism is
+/// unconditional (no per-process seed), and no simulator code depends on map
+/// iteration order (results are byte-identical across processes even under
+/// `RandomState`, which randomizes per instance).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        // Fold the high bits down: the multiply concentrates entropy there,
+        // and HashMap consumes the low bits.
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+/// The map type keyed by line address.
+type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
 
 /// Error returned when an MSHR cannot be allocated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +70,7 @@ struct MshrEntry {
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<u64, MshrEntry>,
+    entries: LineMap<MshrEntry>,
     peak_occupancy: usize,
     merges: u64,
 }
@@ -45,7 +79,12 @@ impl MshrFile {
     /// Creates a file with `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, entries: HashMap::with_capacity(capacity), peak_occupancy: 0, merges: 0 }
+        Self {
+            capacity,
+            entries: LineMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
+            peak_occupancy: 0,
+            merges: 0,
+        }
     }
 
     /// Capacity of the file.

@@ -33,6 +33,10 @@ pub struct SlicedLlc {
     banks_per_group: usize,
     banks_per_subchannel: usize,
     stats: PolicyStats,
+    /// Reused buffers for the eviction decision (one allocation per
+    /// `SlicedLlc` instead of two per fill).
+    scratch_order: Vec<usize>,
+    scratch_lines: Vec<bard_cache::CacheLine>,
 }
 
 impl SlicedLlc {
@@ -73,6 +77,8 @@ impl SlicedLlc {
             banks_per_group: dram.banks_per_group,
             banks_per_subchannel: dram.banks_per_subchannel(),
             stats: PolicyStats::default(),
+            scratch_order: Vec::new(),
+            scratch_lines: Vec::new(),
         }
     }
 
@@ -242,10 +248,13 @@ impl SlicedLlc {
             return;
         }
 
-        let order = self.slices[slice].eviction_order(set);
+        let mut order = std::mem::take(&mut self.scratch_order);
+        self.slices[slice].eviction_order_into(set, &mut order);
         debug_assert_eq!(order.len(), ways);
         let candidate = order[0];
-        let lines: Vec<_> = self.slices[slice].lines_in_set(set).to_vec();
+        let mut lines = std::mem::take(&mut self.scratch_lines);
+        lines.clear();
+        lines.extend_from_slice(self.slices[slice].lines_in_set(set));
         let candidate_dirty = lines[candidate].dirty;
 
         self.stats.evictions += 1;
@@ -296,6 +305,8 @@ impl SlicedLlc {
             }
             _ => {}
         }
+        self.scratch_order = order;
+        self.scratch_lines = lines;
     }
 
     /// BARD-E victim selection: keep the LRU victim if its bank has no

@@ -17,15 +17,14 @@
 //!   enqueue succeeded, no core dispatched or retired), the whole system is
 //!   in a stall fixed point: every following cycle repeats it exactly until
 //!   the next external trigger. The engine computes that **event horizon**
-//!   — the minimum over the event-heap head, every sub-channel's exact wake
-//!   cycle (earliest legal command issue, refresh, dead-row closure) and
+//!   — the minimum over the event ring's earliest slot, every sub-channel's
+//!   exact wake cycle (earliest legal command issue, refresh, dead-row closure) and
 //!   the earliest read-completion delivery — jumps `cycle` there in one
 //!   step, and bulk-accounts the per-cycle statistics (core stall counters,
 //!   DRAM busy/write-mode/total cycles, and therefore background energy)
 //!   over the skipped span. See `docs/ARCHITECTURE.md`.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use bard_cache::{
     CacheConfig, CacheStats, IpStridePrefetcher, MshrFile, NextLinePrefetcher, Prefetcher,
@@ -52,6 +51,26 @@ enum Event {
     CompleteStore { core: usize, token: u64 },
 }
 
+/// Which back-pressure gate rejected a core's front retry request when it
+/// fell asleep. A rejected request touches no state, so as long as *some*
+/// gate still rejects it the slept cycle repeats verbatim; recording the
+/// gate (and the line, for the MSHR `contains` subtlety) lets a
+/// woken-by-release core be re-checked in a few compares instead of a full
+/// core cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum BlockReason {
+    /// Not blocked on a shared resource.
+    #[default]
+    None,
+    /// The write-back buffer was at capacity.
+    WritebackBuffer,
+    /// The MSHR file was full (and did not already track the line), or the
+    /// line's waiter list was full.
+    Mshr,
+    /// The DRAM-pending read buffer was at its bound.
+    DramPending,
+}
+
 /// Compact per-core wake bookkeeping, kept in one contiguous array so the
 /// skip engine's per-tick sleep checks touch a couple of cache lines
 /// instead of eight scattered `CoreCtx`s.
@@ -69,6 +88,10 @@ struct WakeGate {
     watches_shared: bool,
     /// Whether the core is asleep.
     asleep: bool,
+    /// The gate that rejected the core's front retry request at sleep time.
+    block_reason: BlockReason,
+    /// Line address of that request (for the MSHR `contains` re-check).
+    block_line: u64,
 }
 
 impl WakeGate {
@@ -81,6 +104,9 @@ impl WakeGate {
 
 struct CoreCtx {
     core: Core,
+    /// Why the first rejected request of the core's last cycle was refused
+    /// (the gate the sleeping core watches), and its line address.
+    block: (BlockReason, u64),
     trace: Box<dyn TraceSource>,
     l1d: SetAssocCache,
     l2: SetAssocCache,
@@ -128,24 +154,51 @@ pub struct System {
     dram_pending: VecDeque<u64>,
     /// LLC write-backs waiting for DRAM write-queue space.
     writeback_pending: VecDeque<u64>,
-    events: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    /// Calendar ring of pending completion events, indexed by `cycle &
+    /// ring_mask`. Every scheduled latency is bounded by the LLC hit
+    /// latency (the ring is sized to cover it), so a bounded ring replaces
+    /// the binary heap the event queue used to be: O(1) push, O(1) pop of
+    /// the current cycle's slot, insertion order preserved per slot —
+    /// exactly the heap's `(cycle, seq)` order at a fraction of the cost.
+    events: Vec<Vec<Event>>,
+    ring_mask: u64,
+    /// Total events queued in the ring.
+    pending_events: usize,
     event_seq: u64,
     cycle: u64,
     scratch_completed: Vec<CompletedRead>,
     scratch_writebacks: Vec<u64>,
     scratch_staged: Vec<CoreRequest>,
     scratch_retry: Vec<CoreRequest>,
-    /// Monotonic count of shared-state transitions that can unblock a
+    /// Monotonic count of shared-state **releases** that can unblock a
     /// back-pressured core: a buffered write-back or pending read entering a
-    /// DRAM queue, or the outstanding-miss set changing (MSHR allocate or
-    /// complete). A core asleep on memory back-pressure re-runs only when
-    /// this moves.
+    /// DRAM queue (shrinking the bounded buffers), or an outstanding miss
+    /// completing (freeing an MSHR). A core asleep on memory back-pressure
+    /// re-runs only when this moves. Allocations deliberately do not count:
+    /// they can only happen while the MSHR file has space, so they can
+    /// never clear a "full" rejection — bumping on them woke every blocked
+    /// core once per allocation just to fail the same gate again.
     shared_progress: u64,
     /// Per-core sleep/wake bookkeeping (skip engine).
     gates: Vec<WakeGate>,
-    /// Number of cores not asleep; when zero and no wake counter moved this
-    /// tick, the whole core loop is skipped in O(1).
-    awake_cores: usize,
+    /// Bit per core not asleep. Together with `event_wake_mask` and
+    /// `shared_watch_mask` this replaces the old per-tick sweep of every
+    /// `WakeGate`: the core loop visits exactly the union of awake cores,
+    /// cores with a fresh completion event, and — only when a release
+    /// occurred since the last pass — the back-pressure watchers. Cores are
+    /// capped at 64 by `SystemConfig::validate`.
+    awake_mask: u64,
+    /// Bit per sleeping core that had a completion event fire since the
+    /// last core-loop pass.
+    event_wake_mask: u64,
+    /// Bit per sleeping core watching `shared_progress` (memory
+    /// back-pressure).
+    shared_watch_mask: u64,
+    /// `shared_progress` value at the end of the last core-loop pass; a
+    /// difference means a release happened and the watchers must be
+    /// re-checked. Releases only occur before the core loop within a tick,
+    /// so snapshotting after the loop cannot lose one.
+    release_snapshot: u64,
 }
 
 impl System {
@@ -164,6 +217,7 @@ impl System {
             .enumerate()
             .map(|(i, w)| CoreCtx {
                 core: Core::new(config.core),
+                block: (BlockReason::None, 0),
                 trace: build_trace(&config, *w, i),
                 l1d: SetAssocCache::new(
                     CacheConfig::new(config.l1d_bytes, config.l1d_ways, config.line_bytes),
@@ -201,10 +255,18 @@ impl System {
         );
         let mcs =
             (0..config.dram.channels).map(|ch| MemoryController::new(&config.dram, ch)).collect();
+        // Ring must cover the largest schedulable latency (the LLC hit
+        // latency; `validate` guarantees l1 < l2 < llc).
+        let ring_len = (config.llc_latency + 1).next_power_of_two().max(2) as usize;
+        let ring: Vec<Vec<Event>> = (0..ring_len).map(|_| Vec::new()).collect();
+        let ring_mask = ring_len as u64 - 1;
         Self {
             inflight: MshrFile::new(config.llc_mshrs),
             gates: vec![WakeGate::default(); config.cores],
-            awake_cores: config.cores,
+            awake_mask: if config.cores == 64 { u64::MAX } else { (1u64 << config.cores) - 1 },
+            event_wake_mask: 0,
+            shared_watch_mask: 0,
+            release_snapshot: 0,
             config,
             workload,
             cores,
@@ -212,7 +274,9 @@ impl System {
             mcs,
             dram_pending: VecDeque::new(),
             writeback_pending: VecDeque::new(),
-            events: BinaryHeap::new(),
+            events: ring,
+            ring_mask,
+            pending_events: 0,
             event_seq: 0,
             cycle: 0,
             scratch_completed: Vec::new(),
@@ -439,8 +503,23 @@ impl System {
             for ci in 0..self.cores.len() {
                 active |= self.core_cycle(ci, now);
             }
-        } else if self.awake_cores > 0 || self.gates_may_wake() {
-            for ci in 0..self.cores.len() {
+        } else {
+            // O(1) all-asleep gating: only cores that can possibly act are
+            // visited — awake cores, cores with a fresh completion event,
+            // and (only when a shared release happened since the last pass)
+            // the cores sleeping on memory back-pressure. Every other
+            // sleeping core's `may_wake` is false by construction, so
+            // skipping it without a check is exact. Set-bit iteration is
+            // ascending, preserving the reference engine's core order.
+            let mut visit = self.awake_mask | self.event_wake_mask;
+            if self.shared_progress != self.release_snapshot {
+                visit |= self.shared_watch_mask;
+            }
+            self.event_wake_mask = 0;
+            self.release_snapshot = self.shared_progress;
+            while visit != 0 {
+                let ci = visit.trailing_zeros() as usize;
+                visit &= visit - 1;
                 let gate = self.gates[ci];
                 if gate.asleep {
                     if !gate.may_wake(self.shared_progress) {
@@ -449,8 +528,21 @@ impl System {
                         // full core cycle; statistics settle on wake.
                         continue;
                     }
+                    if gate.events_fired == gate.events_seen
+                        && self.block_gate_still_shut(gate.block_reason, gate.block_line)
+                    {
+                        // Woken only by a shared release, but the gate that
+                        // rejected the core's front retry request is still
+                        // shut: the attempt would be rejected identically
+                        // (a rejection touches no state, and *any* shut
+                        // gate rejects), so the slept cycle repeats
+                        // verbatim. Re-arm and sleep on.
+                        self.gates[ci].shared_seen = self.shared_progress;
+                        continue;
+                    }
                     self.gates[ci].asleep = false;
-                    self.awake_cores += 1;
+                    self.awake_mask |= 1u64 << ci;
+                    self.shared_watch_mask &= !(1u64 << ci);
                     self.cores[ci].settle(now);
                 }
                 let stats_before = *self.cores[ci].core.stats();
@@ -464,7 +556,7 @@ impl System {
                     // its real cycle and re-sleeps; a missed wake would
                     // break parity, so the counters cover every unblock
                     // path: own load/store completions, and — for
-                    // back-pressured cores — DRAM-queue/MSHR transitions).
+                    // back-pressured cores — buffer/MSHR releases).
                     let delta = self.cores[ci].core.stats().minus(&stats_before);
                     let ctx = &mut self.cores[ci];
                     ctx.sleep_since = now + 1;
@@ -474,7 +566,11 @@ impl System {
                     gate.events_seen = gate.events_fired;
                     gate.watches_shared = !ctx.retry.is_empty();
                     gate.shared_seen = self.shared_progress;
-                    self.awake_cores -= 1;
+                    (gate.block_reason, gate.block_line) = ctx.block;
+                    self.awake_mask &= !(1u64 << ci);
+                    if gate.watches_shared {
+                        self.shared_watch_mask |= 1u64 << ci;
+                    }
                 }
             }
         }
@@ -483,12 +579,26 @@ impl System {
         active
     }
 
-    /// True when any sleeping core's wake condition may hold. Only called
-    /// with every core asleep, to decide whether the core loop can be
-    /// skipped outright.
-    fn gates_may_wake(&self) -> bool {
-        let shared = self.shared_progress;
-        self.gates.iter().any(|g| g.may_wake(shared))
+    /// True when the recorded back-pressure gate would still reject the
+    /// core's front retry request, making a release-only wake provably a
+    /// no-op. Mirrors the reject conditions of `process_core_request`
+    /// exactly; `BlockReason::None` (not actually gate-blocked) always
+    /// wakes.
+    fn block_gate_still_shut(&self, reason: BlockReason, line: u64) -> bool {
+        match reason {
+            BlockReason::None => false,
+            BlockReason::WritebackBuffer => {
+                self.writeback_pending.len() >= self.config.writeback_buffer_entries
+            }
+            BlockReason::Mshr => self.inflight.is_full() && !self.inflight.contains(line),
+            BlockReason::DramPending => self.dram_pending.len() >= DRAM_PENDING_BOUND,
+        }
+    }
+
+    /// Records a shared-state release that can unblock a back-pressured
+    /// core: bumps the wake counter and re-arms the O(1) all-asleep gate.
+    fn note_shared_progress(&mut self) {
+        self.shared_progress += 1;
     }
 
     /// Settles every sleeping core's lazily-accounted stall statistics up to
@@ -499,15 +609,17 @@ impl System {
         for (ctx, gate) in self.cores.iter_mut().zip(&mut self.gates) {
             if gate.asleep {
                 gate.asleep = false;
-                self.awake_cores += 1;
                 ctx.settle(now);
             }
         }
+        self.awake_mask =
+            if self.cores.len() == 64 { u64::MAX } else { (1u64 << self.cores.len()) - 1 };
+        self.shared_watch_mask = 0;
     }
 
     /// The skip engine's step: run one real tick (with per-core sleeping);
     /// if it turned out to be a global stall fixed point, compute the event
-    /// horizon — the earliest cycle at which the event heap, a DRAM
+    /// horizon — the earliest cycle at which the event ring, a DRAM
     /// sub-channel (command issue, refresh, dead-row closure) or a
     /// read-completion delivery can act, capped at `limit` — and jump
     /// straight there. Exact by construction: cores, queues and caches only
@@ -520,9 +632,7 @@ impl System {
             return;
         }
         let mut horizon = limit;
-        if let Some(Reverse((cycle, _, _))) = self.events.peek() {
-            horizon = horizon.min(*cycle);
-        }
+        horizon = horizon.min(self.next_ring_event_cycle());
         for mc in &self.mcs {
             horizon = horizon.min(mc.next_event_cycle());
         }
@@ -565,6 +675,10 @@ impl System {
         self.scratch_staged = staged;
         let mut blocked = false;
         for req in pending.drain(..) {
+            // `process_core_request` records the rejecting gate in
+            // `ctx.block`; after the first rejection no further request is
+            // attempted, so the field holds the *front* request's reason —
+            // exactly what the sleep gate must watch.
             if blocked || !self.process_core_request(ci, req, now) {
                 blocked = true;
                 self.cores[ci].retry.push_back(req);
@@ -578,14 +692,17 @@ impl System {
     fn process_core_request(&mut self, ci: usize, req: CoreRequest, now: u64) -> bool {
         // Conservative back-pressure before touching any state, so a rejected
         // request can be retried without double-counting.
+        let line = self.line_of(req.addr);
         if self.writeback_pending.len() >= self.config.writeback_buffer_entries {
+            self.cores[ci].block = (BlockReason::WritebackBuffer, line);
             return false;
         }
-        let line = self.line_of(req.addr);
         if self.inflight.is_full() && !self.inflight.contains(line) {
+            self.cores[ci].block = (BlockReason::Mshr, line);
             return false;
         }
         if self.dram_pending.len() >= DRAM_PENDING_BOUND {
+            self.cores[ci].block = (BlockReason::DramPending, line);
             return false;
         }
 
@@ -639,12 +756,20 @@ impl System {
         // DRAM
         let waiter = encode_waiter(ci, is_store, req.token);
         match self.inflight.allocate(line, waiter, is_store, false) {
-            Ok(true) => {
-                self.shared_progress += 1;
-                self.dram_pending.push_back(line);
-            }
+            // No wake-counter bump: an allocation can only happen while the
+            // MSHR file has space, so it can never clear another core's
+            // "MSHR full" rejection, and growing `dram_pending` cannot clear
+            // a bound rejection either. Only releases wake sleepers.
+            Ok(true) => self.dram_pending.push_back(line),
             Ok(false) => {}
-            Err(_) => return false,
+            Err(_) => {
+                // Waiter-list overflow on an existing entry: only that
+                // line's completion clears it (`contains` stays true, so
+                // the re-check below always wakes the core — conservative
+                // but this path is rare).
+                self.cores[ci].block = (BlockReason::Mshr, line);
+                return false;
+            }
         }
         self.issue_prefetches(ci, &l1_prefetches);
         self.issue_prefetches(ci, &l2_prefetches);
@@ -731,7 +856,7 @@ impl System {
             }
             let waiter = encode_prefetch_waiter(ci);
             if let Ok(true) = self.inflight.allocate(line, waiter, false, true) {
-                self.shared_progress += 1;
+                // No wake-counter bump — see the demand-allocate path.
                 self.dram_pending.push_back(line)
             }
         }
@@ -742,7 +867,7 @@ impl System {
         let Some((waiters, _any_store, prefetch_only)) = self.inflight.complete(line) else {
             return;
         };
-        self.shared_progress += 1;
+        self.note_shared_progress();
         // Fill the LLC through the writeback policy.
         {
             let mut wbs = std::mem::take(&mut self.scratch_writebacks);
@@ -837,7 +962,7 @@ impl System {
                 self.writeback_pending.push_front(addr);
                 break;
             }
-            self.shared_progress += 1;
+            self.note_shared_progress();
             any = true;
         }
         any
@@ -859,38 +984,67 @@ impl System {
                 self.dram_pending.push_front(line);
                 break;
             }
-            self.shared_progress += 1;
+            self.note_shared_progress();
             any = true;
         }
         any
     }
 
-    /// Returns `true` if at least one event fired.
+    /// Returns `true` if at least one event fired. The skip engine never
+    /// jumps past a scheduled event (the ring's earliest cycle joins the
+    /// horizon), so draining the current cycle's slot is exhaustive.
     fn process_events(&mut self, now: u64) -> bool {
-        let mut any = false;
-        while let Some(Reverse((cycle, _, _))) = self.events.peek() {
-            if *cycle > now {
-                break;
-            }
-            let Reverse((_, _, event)) = self.events.pop().expect("peeked");
-            any = true;
+        if self.pending_events == 0 {
+            return false;
+        }
+        let slot = (now & self.ring_mask) as usize;
+        if self.events[slot].is_empty() {
+            return false;
+        }
+        let mut queue = std::mem::take(&mut self.events[slot]);
+        self.pending_events -= queue.len();
+        for event in queue.drain(..) {
             match event {
                 Event::CompleteLoad { core, token } => {
                     self.gates[core].events_fired += 1;
+                    self.event_wake_mask |= 1u64 << core;
                     self.cores[core].core.complete_load(token);
                 }
                 Event::CompleteStore { core, token } => {
                     self.gates[core].events_fired += 1;
+                    self.event_wake_mask |= 1u64 << core;
                     self.cores[core].core.complete_store(token);
                 }
             }
         }
-        any
+        self.events[slot] = queue;
+        true
+    }
+
+    /// Earliest cycle holding a scheduled event, or `u64::MAX` when the
+    /// ring is empty. At most one ring-length scan, only on quiet ticks.
+    fn next_ring_event_cycle(&self) -> u64 {
+        if self.pending_events == 0 {
+            return u64::MAX;
+        }
+        // `self.cycle` is the next cycle to execute (the caller's tick
+        // already advanced it), so the scan starts there: an event due on
+        // that very cycle pins the horizon and prevents any jump.
+        let now = self.cycle;
+        (0..=self.ring_mask)
+            .map(|d| now + d)
+            .find(|c| !self.events[(c & self.ring_mask) as usize].is_empty())
+            .expect("pending events must live within one ring revolution")
     }
 
     fn schedule(&mut self, cycle: u64, event: Event) {
+        debug_assert!(
+            cycle > self.cycle && cycle - self.cycle <= self.ring_mask,
+            "event latency must fit the ring"
+        );
         self.event_seq += 1;
-        self.events.push(Reverse((cycle, self.event_seq, event)));
+        self.pending_events += 1;
+        self.events[(cycle & self.ring_mask) as usize].push(event);
     }
 
     fn line_of(&self, addr: u64) -> u64 {
@@ -908,13 +1062,20 @@ impl System {
 /// when the archive has none). Replay is bitwise-equivalent to live
 /// generation, so the two paths produce identical simulations.
 ///
+/// The replay carries an **exact live fallback**: a run that consumes more
+/// records than the archive holds (rate/mix runs keep feeding fast cores
+/// until the slowest core finishes, and a guard-bounded run can consume up
+/// to 1000 cycles' worth per instruction — no static budget covers every
+/// case) continues from the fast-forwarded live generator instead of
+/// panicking or wrapping. The recorded prefix *is* the generator prefix, so
+/// results stay bitwise-identical; only wall clock is lost. The archive
+/// budget ([`crate::TraceConfig::budget_for`]) is sized so the common
+/// shapes never fall back.
+///
 /// # Panics
 ///
 /// Panics if the archived trace cannot be read, fails its checksum, or does
-/// not match the requested `(workload, core, seed)` key. The returned replay
-/// is *strict*: running past the end of the recording (an undersized
-/// `instructions_per_core` budget) panics rather than wrapping, because a
-/// wrapped replay would silently break the bitwise-equivalence guarantee.
+/// not match the requested `(workload, core, seed)` key.
 fn build_trace(config: &SystemConfig, workload: WorkloadId, core: usize) -> Box<dyn TraceSource> {
     let Some(tc) = &config.trace else {
         return workload.build(core, config.seed);
@@ -931,7 +1092,8 @@ fn build_trace(config: &SystemConfig, workload: WorkloadId, core: usize) -> Box<
                 workload.name()
             )
         });
-    Box::new(replay.strict())
+    let seed = config.seed;
+    Box::new(replay.with_live_fallback(move || workload.build(core, seed)))
 }
 
 fn completion_event(core: usize, req: &CoreRequest) -> Event {

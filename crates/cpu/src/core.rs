@@ -122,24 +122,29 @@ impl CoreStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RobSlot {
-    /// Completed instruction (compute, store, or load whose data arrived).
-    Done,
-    /// A load still waiting for data.
-    PendingLoad,
-}
-
 /// The OoO-lite core.
+///
+/// The ROB is represented arithmetically: in-flight instructions are the
+/// sequence range `[head_seq, next_seq)`, and only *incomplete loads* are
+/// tracked individually (every other slot — compute, store, completed load —
+/// retires unconditionally in program order). A run of compute instructions
+/// therefore dispatches and retires as one bounded arithmetic step instead
+/// of a `VecDeque` push/pop per instruction, which is what makes
+/// compute-heavy cycles cheap; the observable behaviour (stall statistics,
+/// issue order, retirement timing) is identical to the slot-per-instruction
+/// model it replaced.
 #[derive(Debug)]
 pub struct Core {
     config: CoreConfig,
-    /// ROB entries; index 0 is the oldest in-flight instruction.
-    rob: std::collections::VecDeque<RobSlot>,
-    /// Sequence number of the instruction at the front of the ROB.
+    /// Sequence number of the oldest in-flight instruction.
     head_seq: u64,
-    /// Next sequence number to assign.
+    /// Next sequence number to assign; `next_seq - head_seq` is the ROB
+    /// occupancy.
     next_seq: u64,
+    /// Sequence numbers of loads still waiting for data, oldest first. A
+    /// completed load is removed immediately (its slot needs no tracking),
+    /// so the front entry is the retirement barrier.
+    pending_loads: std::collections::VecDeque<u64>,
     /// Outstanding stores issued to memory.
     store_buffer_used: usize,
     /// Non-memory instructions still to dispatch from the current record.
@@ -155,14 +160,19 @@ impl Core {
     pub fn new(config: CoreConfig) -> Self {
         Self {
             config,
-            rob: std::collections::VecDeque::with_capacity(config.rob_entries),
             head_seq: 0,
             next_seq: 0,
+            pending_loads: std::collections::VecDeque::new(),
             store_buffer_used: 0,
             pending_bubble: 0,
             deferred: None,
             stats: CoreStats::default(),
         }
+    }
+
+    /// Current ROB occupancy.
+    fn rob_len(&self) -> usize {
+        (self.next_seq - self.head_seq) as usize
     }
 
     /// The core's configuration.
@@ -225,12 +235,10 @@ impl Core {
 
     /// Marks the load with completion token `token` as done.
     pub fn complete_load(&mut self, token: u64) {
-        if token < self.head_seq {
-            return; // already retired (should not normally happen)
-        }
-        let index = (token - self.head_seq) as usize;
-        if let Some(slot) = self.rob.get_mut(index) {
-            *slot = RobSlot::Done;
+        // `pending_loads` is sorted (tokens are assigned in program order);
+        // a token that is absent was already completed or retired.
+        if let Ok(index) = self.pending_loads.binary_search(&token) {
+            self.pending_loads.remove(index);
         }
     }
 
@@ -241,21 +249,21 @@ impl Core {
     }
 
     fn retire(&mut self) {
-        let mut retired_this_cycle = 0;
-        while retired_this_cycle < self.config.retire_width {
-            match self.rob.front() {
-                Some(RobSlot::Done) => {
-                    self.rob.pop_front();
-                    self.head_seq += 1;
-                    self.stats.retired += 1;
-                    retired_this_cycle += 1;
-                }
-                Some(RobSlot::PendingLoad) => {
-                    self.stats.head_blocked_cycles += 1;
-                    break;
-                }
-                None => break,
+        let mut budget = self.config.retire_width as u64;
+        while budget > 0 {
+            if self.head_seq == self.next_seq {
+                break; // ROB empty
             }
+            // Everything before the oldest incomplete load retires freely.
+            let barrier = self.pending_loads.front().copied().unwrap_or(self.next_seq);
+            if barrier == self.head_seq {
+                self.stats.head_blocked_cycles += 1;
+                break;
+            }
+            let run = (barrier - self.head_seq).min(budget);
+            self.head_seq += run;
+            self.stats.retired += run;
+            budget -= run;
         }
     }
 
@@ -264,15 +272,21 @@ impl Core {
         trace: &mut dyn TraceSource,
         issue: &mut dyn FnMut(CoreRequest) -> bool,
     ) {
-        for _ in 0..self.config.dispatch_width {
-            if self.rob.len() >= self.config.rob_entries {
+        let mut slots = self.config.dispatch_width;
+        while slots > 0 {
+            if self.rob_len() >= self.config.rob_entries {
                 self.stats.rob_full_stalls += 1;
                 return;
             }
-            // Drain pending non-memory instructions first.
+            // Drain pending non-memory instructions first — a whole run in
+            // one arithmetic step, bounded by the dispatch width and the
+            // remaining ROB space.
             if self.pending_bubble > 0 {
-                self.pending_bubble -= 1;
-                self.push_done();
+                let space = self.config.rob_entries - self.rob_len();
+                let batch = (self.pending_bubble as usize).min(slots).min(space);
+                self.pending_bubble -= batch as u32;
+                self.next_seq += batch as u64;
+                slots -= batch;
                 continue;
             }
             // Fetch (or re-use the deferred) record.
@@ -281,18 +295,21 @@ impl Core {
                 None => {
                     let r = trace.next_record();
                     if r.bubble > 0 {
-                        // Dispatch the first bubble instruction this slot and
-                        // remember the rest plus the memory instruction.
-                        self.pending_bubble = r.bubble - 1;
+                        // Queue the bubble run and remember the memory
+                        // instruction; the batch above dispatches the run
+                        // starting with this slot.
+                        self.pending_bubble = r.bubble;
                         self.deferred = Some(TraceRecord { bubble: 0, ..r });
-                        self.push_done();
                         continue;
                     }
                     r
                 }
             };
             match record.access {
-                None => self.push_done(),
+                None => {
+                    self.next_seq += 1;
+                    slots -= 1;
+                }
                 Some(access) => {
                     let token = self.next_seq;
                     match access.kind {
@@ -309,8 +326,9 @@ impl Core {
                                 return;
                             }
                             self.stats.loads_issued += 1;
-                            self.rob.push_back(RobSlot::PendingLoad);
+                            self.pending_loads.push_back(token);
                             self.next_seq += 1;
+                            slots -= 1;
                         }
                         MemKind::Store => {
                             if self.store_buffer_used >= self.config.store_buffer_entries {
@@ -332,17 +350,13 @@ impl Core {
                             self.stats.stores_issued += 1;
                             self.store_buffer_used += 1;
                             // Stores retire without waiting for memory.
-                            self.push_done();
+                            self.next_seq += 1;
+                            slots -= 1;
                         }
                     }
                 }
             }
         }
-    }
-
-    fn push_done(&mut self) {
-        self.rob.push_back(RobSlot::Done);
-        self.next_seq += 1;
     }
 }
 

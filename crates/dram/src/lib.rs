@@ -54,7 +54,7 @@ pub mod subchannel;
 pub mod timing;
 
 pub use address::{AddressMapping, DecodedAddr, MappingScheme};
-pub use config::{DeviceWidth, DramConfig, PagePolicy};
+pub use config::{DeviceWidth, DramConfig, PagePolicy, SchedulerKind};
 pub use controller::MemoryController;
 pub use power::{EnergyBreakdown, PowerModel};
 pub use request::{CompletedRead, EnqueueError, MemRequest, RequestId, RequestKind};

@@ -62,7 +62,7 @@ pub use format::{TraceHeader, MAGIC, VERSION};
 pub use import::{parse_text, render_text};
 pub use reader::{verify_file, TraceReader};
 pub use recording::RecordingSource;
-pub use replay::ReplayWorkload;
+pub use replay::{ReplayThenLive, ReplayWorkload};
 pub use store::TraceStore;
 pub use writer::TraceWriter;
 

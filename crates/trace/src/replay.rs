@@ -1,6 +1,7 @@
 //! Replaying a recorded trace as a live [`TraceSource`].
 
 use std::path::Path;
+use std::sync::Arc;
 
 use bard_cpu::{TraceRecord, TraceSource};
 
@@ -24,7 +25,10 @@ use crate::reader::TraceReader;
 #[derive(Debug, Clone)]
 pub struct ReplayWorkload {
     header: TraceHeader,
-    records: Vec<TraceRecord>,
+    /// Decoded records, shared: every replay of the same file (and the
+    /// process-wide decode cache behind [`crate::TraceStore`]) points at one
+    /// allocation, so grid experiments stop holding per-`System` copies.
+    records: Arc<[TraceRecord]>,
     position: usize,
     wraps: u64,
     strict: bool,
@@ -50,12 +54,33 @@ impl ReplayWorkload {
     ///
     /// Rejects empty traces.
     pub fn from_parts(header: TraceHeader, records: Vec<TraceRecord>) -> Result<Self, TraceError> {
+        Self::from_shared(header, records.into())
+    }
+
+    /// Builds a replay over an already-shared record allocation (the decode
+    /// cache's path — no copy is made).
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty traces.
+    pub fn from_shared(
+        header: TraceHeader,
+        records: Arc<[TraceRecord]>,
+    ) -> Result<Self, TraceError> {
         if records.is_empty() {
             return Err(TraceError::Mismatch {
                 message: format!("trace '{}' holds no records", header.workload),
             });
         }
         Ok(Self { header, records, position: 0, wraps: 0, strict: false })
+    }
+
+    /// The shared record allocation backing this replay. Two replays of the
+    /// same archived file satisfy `Arc::ptr_eq` on this when both came
+    /// through the decode cache.
+    #[must_use]
+    pub fn shared_records(&self) -> Arc<[TraceRecord]> {
+        Arc::clone(&self.records)
     }
 
     /// Returns a replay that panics instead of wrapping past the end of the
@@ -91,6 +116,88 @@ impl ReplayWorkload {
     #[must_use]
     pub fn wraps(&self) -> u64 {
         self.wraps
+    }
+}
+
+impl ReplayWorkload {
+    /// Wraps the replay in an **exact** live fallback: the recording is
+    /// served to its end, and a request for the record after the last one
+    /// rebuilds the live generator, fast-forwards it past the recorded
+    /// prefix and continues from there. Because a recording *is* the
+    /// generator's prefix for its `(workload, core, seed)` key, the combined
+    /// stream is bitwise-identical to pure live generation for any
+    /// consumption length — an undersized archive budget costs wall clock
+    /// (one generator fast-forward), never correctness. This is what the
+    /// simulator's `--trace-dir` path uses instead of [`ReplayWorkload::strict`].
+    #[must_use]
+    pub fn with_live_fallback(
+        self,
+        build: impl FnOnce() -> Box<dyn TraceSource> + Send + 'static,
+    ) -> ReplayThenLive {
+        ReplayThenLive { replay: self, build: Some(Box::new(build)), live: None }
+    }
+}
+
+/// A replay that continues with (fast-forwarded) live generation when the
+/// recording runs out — see [`ReplayWorkload::with_live_fallback`].
+pub struct ReplayThenLive {
+    replay: ReplayWorkload,
+    build: Option<Box<dyn FnOnce() -> Box<dyn TraceSource> + Send>>,
+    live: Option<Box<dyn TraceSource>>,
+}
+
+impl ReplayThenLive {
+    /// True once the recording was exhausted and the live generator took
+    /// over (an archive-budget diagnostic; results are identical either
+    /// way).
+    #[must_use]
+    pub fn fell_back(&self) -> bool {
+        self.live.is_some()
+    }
+}
+
+impl std::fmt::Debug for ReplayThenLive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayThenLive")
+            .field("replay", &self.replay)
+            .field("fell_back", &self.fell_back())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceSource for ReplayThenLive {
+    fn next_record(&mut self) -> TraceRecord {
+        if self.replay.position < self.replay.records.len() {
+            return self.replay.next_record();
+        }
+        let live = self.live.get_or_insert_with(|| {
+            // Loud (stderr-only, so artifacts stay byte-identical): the
+            // archive was undersized for this run and replay's speed
+            // advantage is gone for this core — the diagnostic the old
+            // strict-replay panic used to provide, without the panic.
+            eprintln!(
+                "trace '{}' (core {}): recording exhausted after {} records; continuing \
+                 bitwise-identically from the fast-forwarded live generator (re-record \
+                 with a larger budget to keep replay fast)",
+                self.replay.header.workload,
+                self.replay.header.core,
+                self.replay.records.len(),
+            );
+            let build = self.build.take().expect("fallback generator built once");
+            let mut live = build();
+            // Fast-forward past the recorded prefix the replay already
+            // served; the generator stream is a pure function of the key, so
+            // what follows is exactly what a longer recording would hold.
+            for _ in 0..self.replay.records.len() {
+                let _ = live.next_record();
+            }
+            live
+        });
+        live.next_record()
+    }
+
+    fn name(&self) -> &str {
+        self.replay.name()
     }
 }
 

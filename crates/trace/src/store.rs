@@ -1,14 +1,33 @@
 //! The on-disk trace archive behind `--trace-dir`.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use bard_cpu::{TraceRecord, TraceSource};
 
 use crate::error::TraceError;
 use crate::format::TraceHeader;
+use crate::reader::TraceReader;
 use crate::replay::ReplayWorkload;
 use crate::writer::TraceWriter;
+
+/// Process-wide cache of decoded traces, keyed by path. Grid experiments
+/// build one `System` per `(config, workload, job)` and every one of them
+/// re-opens the same BTF files; sharing the decoded `Arc<[TraceRecord]>`
+/// turns that from a decode + multi-GB copy per `System` into one decode per
+/// path per process. Entries are held strongly for the life of the process —
+/// the cache's high-water mark is one copy per distinct file, the same as a
+/// single live `System` needed before. Writes through [`TraceStore`]
+/// invalidate the written path; files modified behind the store's back
+/// (outside any supported workflow) are not detected.
+type DecodeCache = Mutex<HashMap<PathBuf, (TraceHeader, Arc<[TraceRecord]>)>>;
+
+fn decode_cache() -> &'static DecodeCache {
+    static CACHE: OnceLock<DecodeCache> = OnceLock::new();
+    CACHE.get_or_init(DecodeCache::default)
+}
 
 /// A directory of BTF1 traces keyed by `(workload, core, seed, instruction
 /// budget)`.
@@ -82,19 +101,50 @@ impl TraceStore {
             self.find_covering(workload, core, seed, instructions)
         };
         if let Some(path) = path {
-            let replay = ReplayWorkload::open(&path)?;
+            let replay = Self::open_cached(&path)?;
             validate_key(replay.header(), workload, core, seed, instructions)?;
             return Ok(replay);
         }
         let mut live = build_live();
-        let (header, records) = self.capture(
-            live.as_mut(),
-            core,
-            seed,
-            instructions,
-            &self.path_for(workload, core, seed, instructions),
-        )?;
-        ReplayWorkload::from_parts(header, records)
+        let path = self.path_for(workload, core, seed, instructions);
+        let (header, records) = self.capture(live.as_mut(), core, seed, instructions, &path)?;
+        // Seed the cache: the captured records are exactly the published
+        // file's contents, so later opens of the same path share them.
+        let records: Arc<[TraceRecord]> = records.into();
+        decode_cache()
+            .lock()
+            .expect("decode cache poisoned")
+            .insert(path, (header.clone(), Arc::clone(&records)));
+        ReplayWorkload::from_shared(header, records)
+    }
+
+    /// Opens a trace through the process-wide decode cache: the first open
+    /// of a path decodes (and checksums) the file, every later open shares
+    /// the same record allocation. The whole operation holds the cache lock,
+    /// so concurrent grid jobs racing to the same file decode it once and
+    /// the rest wait for the shared result. The flip side: first-time
+    /// decodes of *distinct* files also serialize — a deliberate trade
+    /// (per-path entry locks would complicate the cache for a one-off
+    /// per-process decode wave whose common case is same-file sharing).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read, decode and checksum errors from a cache miss.
+    pub fn open_cached(path: &Path) -> Result<ReplayWorkload, TraceError> {
+        let mut cache = decode_cache().lock().expect("decode cache poisoned");
+        if let Some((header, records)) = cache.get(path) {
+            return ReplayWorkload::from_shared(header.clone(), Arc::clone(records));
+        }
+        let (header, records) = TraceReader::open(path)?.read_all()?;
+        let records: Arc<[TraceRecord]> = records.into();
+        cache.insert(path.to_path_buf(), (header.clone(), Arc::clone(&records)));
+        ReplayWorkload::from_shared(header, records)
+    }
+
+    /// Drops the cached decode of `path` (a write through the store is about
+    /// to replace, or just replaced, the file's contents).
+    fn invalidate_cached(path: &Path) {
+        decode_cache().lock().expect("decode cache poisoned").remove(path);
     }
 
     /// Scans the store for an archived trace of `(workload, core, seed)`
@@ -194,6 +244,9 @@ impl TraceStore {
                 return Err(TraceError::Io(rename_error));
             }
         }
+        // The path's bytes just changed (or were first published): any
+        // previously cached decode is stale.
+        Self::invalidate_cached(path);
         Ok((header, records))
     }
 }

@@ -1,0 +1,24 @@
+//! Shared test support for the bard-trace integration suites.
+
+use std::path::PathBuf;
+
+/// A scratch directory removed on drop. Each test binary passes a distinct
+/// tag, and the process id keeps concurrent `cargo test` invocations apart.
+pub struct TempDir(pub PathBuf);
+
+impl TempDir {
+    /// Creates (a handle to) a fresh scratch directory; the directory itself
+    /// is created lazily by whatever writes into it.
+    #[must_use]
+    pub fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("bard-trace-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}

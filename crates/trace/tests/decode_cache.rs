@@ -1,0 +1,79 @@
+//! The process-wide decode cache behind [`TraceStore`]: every open of the
+//! same archived file must share **one** decoded record allocation
+//! (pointer-equal `Arc`s), replay through the cache must stay
+//! bitwise-equivalent to live generation, and a re-recorded file must not
+//! serve a stale decode.
+
+use std::sync::Arc;
+
+use bard_cpu::TraceSource;
+
+mod common;
+use bard_trace::TraceStore;
+use bard_workloads::WorkloadId;
+use common::TempDir;
+
+const SEED: u64 = 0x1BAD_B002;
+const BUDGET: u64 = 20_000;
+
+fn obtain(store: &TraceStore, workload: WorkloadId) -> bard_trace::ReplayWorkload {
+    store
+        .obtain(workload.name(), 0, SEED, BUDGET, || workload.build(0, SEED))
+        .expect("obtain must succeed")
+}
+
+/// Two `System`s replaying the same archive each call `TraceStore::obtain`
+/// for the same path; this pins that both end up pointing at one shared
+/// record allocation instead of holding private copies.
+#[test]
+fn repeated_obtains_share_one_decoded_allocation() {
+    let tmp = TempDir::new("share");
+    let store = TraceStore::new(&tmp.0);
+    let first = obtain(&store, WorkloadId::Lbm); // records + seeds the cache
+    let second = obtain(&store, WorkloadId::Lbm); // replays through the cache
+    let third = obtain(&store, WorkloadId::Lbm);
+    assert!(
+        Arc::ptr_eq(&first.shared_records(), &second.shared_records()),
+        "the capture pass and the first replay must share one allocation"
+    );
+    assert!(
+        Arc::ptr_eq(&second.shared_records(), &third.shared_records()),
+        "two replays must share one allocation"
+    );
+}
+
+/// Replay equivalence through the cache: a cached replay serves exactly the
+/// live generator's records.
+#[test]
+fn cached_replay_matches_live_generation() {
+    let tmp = TempDir::new("equiv");
+    let store = TraceStore::new(&tmp.0);
+    let _capture = obtain(&store, WorkloadId::Omnetpp);
+    let mut cached = obtain(&store, WorkloadId::Omnetpp);
+    let mut live = WorkloadId::Omnetpp.build(0, SEED);
+    let len = cached.len();
+    assert!(len > 1_000, "the budget must decode to a substantial recording");
+    for i in 0..len {
+        assert_eq!(cached.next_record(), live.next_record(), "record {i} diverged");
+    }
+}
+
+/// Re-recording a path through the store must invalidate its cached decode:
+/// the next obtain re-reads the file instead of serving the stale (if
+/// byte-identical, still *old*) allocation.
+#[test]
+fn rerecording_invalidates_the_cached_decode() {
+    let tmp = TempDir::new("invalidate");
+    let store = TraceStore::new(&tmp.0);
+    let before = obtain(&store, WorkloadId::Copy);
+    let mut source = WorkloadId::Copy.build(0, SEED);
+    store.record(source.as_mut(), 0, SEED, BUDGET).expect("re-record must succeed");
+    let after = obtain(&store, WorkloadId::Copy);
+    assert!(
+        !Arc::ptr_eq(&before.shared_records(), &after.shared_records()),
+        "a write through the store must drop the cached decode"
+    );
+    // The generator is pure, so the re-recorded contents are identical even
+    // though the allocation is fresh.
+    assert_eq!(&*before.shared_records(), &*after.shared_records());
+}

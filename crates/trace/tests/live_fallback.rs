@@ -1,0 +1,49 @@
+//! The exact live fallback behind `--trace-dir`: a replay that outlives its
+//! recording continues with the fast-forwarded live generator and stays
+//! bitwise-identical to pure live generation for any consumption length.
+
+use bard_cpu::TraceSource;
+
+mod common;
+use bard_trace::TraceStore;
+use bard_workloads::WorkloadId;
+use common::TempDir;
+
+const SEED: u64 = 0x1BAD_B002;
+
+#[test]
+fn fallback_continues_the_generator_stream_exactly() {
+    let tmp = TempDir::new("exact");
+    let store = TraceStore::new(&tmp.0);
+    let workload = WorkloadId::Omnetpp;
+    // A deliberately tiny budget: the recording covers only a prefix.
+    let replay = store
+        .obtain(workload.name(), 0, SEED, 2_000, || workload.build(0, SEED))
+        .expect("capture must succeed");
+    let recorded = replay.len();
+    let mut replayed = replay.with_live_fallback(move || workload.build(0, SEED));
+    let mut live = workload.build(0, SEED);
+    // Pull far past the recording: the prefix comes from the file, the rest
+    // from the fast-forwarded generator, and every record matches.
+    for i in 0..(recorded * 10) {
+        assert_eq!(replayed.next_record(), live.next_record(), "record {i} diverged");
+        assert_eq!(replayed.fell_back(), i >= recorded, "fallback must engage at {recorded}");
+    }
+    assert_eq!(replayed.name(), workload.name());
+}
+
+#[test]
+fn fallback_is_untouched_while_the_recording_covers_the_run() {
+    let tmp = TempDir::new("covered");
+    let store = TraceStore::new(&tmp.0);
+    let workload = WorkloadId::Copy;
+    let replay = store
+        .obtain(workload.name(), 1, SEED, 5_000, || workload.build(1, SEED))
+        .expect("capture must succeed");
+    let recorded = replay.len();
+    let mut replayed = replay.with_live_fallback(move || workload.build(1, SEED));
+    for _ in 0..recorded {
+        let _ = replayed.next_record();
+    }
+    assert!(!replayed.fell_back(), "consuming exactly the recording must not fall back");
+}

@@ -1,0 +1,84 @@
+//! Micro-benchmark: the reference walk probe vs the presence-filtered
+//! fused probe, over miss-heavy and hit-heavy address streams.
+//!
+//! The fused path earns its keep on misses: a clear filter bit certifies
+//! absence without scanning the tag array, and simulator probe streams are
+//! miss-dominated (every L1 miss probes L2 and the LLC, every fill probes
+//! for duplicates). The hit-heavy legs pin the overhead bound — one AND
+//! plus a branch ahead of the scan both paths share.
+
+use bard_cache::{CacheConfig, FusedProbe, ReplacementKind, SetAssocCache};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// A filled 2 MiB, 16-way cache and a pseudo-random line-aligned address
+/// stream spanning `reach` bytes: small reach keeps the stream resident
+/// (hit-heavy), large reach makes most probes miss.
+fn filled_cache() -> SetAssocCache {
+    let mut cache =
+        SetAssocCache::new(CacheConfig::new(2 * 1024 * 1024, 16, 64), ReplacementKind::Lru);
+    for i in 0..(2 * 1024 * 1024 / 64) as u64 {
+        cache.fill(i * 64, i % 2 == 0, 0);
+    }
+    cache
+}
+
+fn addr_stream(i: &mut u64, reach: u64) -> u64 {
+    *i = i.wrapping_add(0x9E37_79B9);
+    (*i % reach) & !63
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_probe");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+
+    // Miss-heavy: the stream reaches 16x the cache, so ~15/16 probes miss
+    // and the fused path can certify most of them from the filter alone.
+    let miss_reach = 32 * 1024 * 1024;
+    // Hit-heavy: the stream stays inside the resident footprint.
+    let hit_reach = 2 * 1024 * 1024;
+
+    for (label, reach) in [("miss_heavy", miss_reach), ("hit_heavy", hit_reach)] {
+        group.bench_function(format!("probe_walk_{label}"), |b| {
+            let cache = filled_cache();
+            let mut i = 0u64;
+            b.iter(|| {
+                let addr = addr_stream(&mut i, reach);
+                std::hint::black_box(cache.probe(addr))
+            });
+        });
+        group.bench_function(format!("probe_fused_{label}"), |b| {
+            let cache = filled_cache();
+            let mut i = 0u64;
+            b.iter(|| {
+                let probe = FusedProbe::new(addr_stream(&mut i, reach));
+                std::hint::black_box(cache.probe_fused(&probe))
+            });
+        });
+    }
+
+    // Demand-access pair: the full touch path (stats, recency, dirty bits)
+    // on the miss-heavy stream, walk vs fused.
+    group.bench_function("touch_walk_miss_heavy", |b| {
+        let mut cache = filled_cache();
+        let mut i = 0u64;
+        b.iter(|| {
+            let addr = addr_stream(&mut i, miss_reach);
+            std::hint::black_box(cache.touch(addr, (i >> 8) as u16, i.is_multiple_of(3)))
+        });
+    });
+    group.bench_function("touch_fused_miss_heavy", |b| {
+        let mut cache = filled_cache();
+        let mut i = 0u64;
+        b.iter(|| {
+            let probe = FusedProbe::new(addr_stream(&mut i, miss_reach));
+            std::hint::black_box(cache.touch_fused(&probe, (i >> 8) as u16, i.is_multiple_of(3)))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -13,21 +13,28 @@
 //!   reference — generous slack for runner variance, but a model-wide
 //!   slowdown that halves throughput everywhere still fails.
 //!
+//! A third check reads `crates/bench/benches/BENCH_cache_probe.json`:
+//!
+//! * **probe ratio**: the default fused (presence-filtered) cache probe's
+//!   end-to-end throughput over the reference walk probe must stay above
+//!   the recorded `floor_fraction` — a filter that stops paying for its
+//!   own maintenance fails CI.
+//!
 //! Run manually with `cargo run --release --bin perf_smoke`.
 
 use std::time::Instant;
 
 use bard::experiment::RunLength;
 use bard::report::json::Json;
-use bard::{EngineKind, System, SystemConfig};
+use bard::{EngineKind, ProbeKind, System, SystemConfig};
 use bard_workloads::WorkloadId;
 
 /// The shape `BENCH_sim_engine.json` records for the smoke check.
 const WORKLOAD: WorkloadId = WorkloadId::Lbm;
 const CORES: usize = 2;
 
-fn simulate(engine: EngineKind, length: RunLength) -> u64 {
-    let mut cfg = SystemConfig::small_test().with_engine(engine);
+fn simulate(engine: EngineKind, probe: ProbeKind, length: RunLength) -> u64 {
+    let mut cfg = SystemConfig::small_test().with_engine(engine).with_probe(probe);
     cfg.cores = CORES;
     let mut system = System::new(cfg, WORKLOAD);
     system.run(length.functional_warmup, length.timed_warmup, length.measure);
@@ -36,44 +43,50 @@ fn simulate(engine: EngineKind, length: RunLength) -> u64 {
 
 /// Best simulated-cycles/s over a few attempts (shields against one-off
 /// scheduler hiccups on shared runners).
-fn cycles_per_sec(engine: EngineKind, length: RunLength) -> f64 {
+fn cycles_per_sec(engine: EngineKind, probe: ProbeKind, length: RunLength) -> f64 {
     (0..3)
         .map(|_| {
             let start = Instant::now();
-            let cycles = simulate(engine, length);
+            let cycles = simulate(engine, probe, length);
             cycles as f64 / start.elapsed().as_secs_f64()
         })
         .fold(0.0f64, f64::max)
 }
 
-fn get_num(json: &Json, path: &[&str]) -> f64 {
+fn load_baseline(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    Json::parse(&text).unwrap_or_else(|e| panic!("{path} must parse: {e:?}"))
+}
+
+fn get_num(json: &Json, file: &str, path: &[&str]) -> f64 {
     let mut node = json;
     for key in path {
-        node = node
-            .get(key)
-            .unwrap_or_else(|| panic!("BENCH_sim_engine.json: missing key '{}'", path.join(".")));
+        node = node.get(key).unwrap_or_else(|| panic!("{file}: missing key '{}'", path.join(".")));
     }
-    node.as_f64()
-        .unwrap_or_else(|| panic!("BENCH_sim_engine.json: '{}' not a number", path.join(".")))
+    node.as_f64().unwrap_or_else(|| panic!("{file}: '{}' not a number", path.join(".")))
 }
 
 fn main() {
     let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/benches/BENCH_sim_engine.json");
-    let text = std::fs::read_to_string(baseline_path)
-        .unwrap_or_else(|e| panic!("cannot read {baseline_path}: {e}"));
-    let json = Json::parse(&text).expect("BENCH_sim_engine.json must parse");
-    let recorded_speedup = get_num(&json, &["perf_smoke", "skip_over_step"]);
-    let recorded_skip = get_num(&json, &["perf_smoke", "skip_cycles_per_sec"]);
-    let ratio_tolerance = get_num(&json, &["perf_smoke", "ratio_tolerance"]);
-    let floor_fraction = get_num(&json, &["perf_smoke", "floor_fraction"]);
+    let json = load_baseline(baseline_path);
+    let recorded_speedup = get_num(&json, baseline_path, &["perf_smoke", "skip_over_step"]);
+    let recorded_skip = get_num(&json, baseline_path, &["perf_smoke", "skip_cycles_per_sec"]);
+    let ratio_tolerance = get_num(&json, baseline_path, &["perf_smoke", "ratio_tolerance"]);
+    let floor_fraction = get_num(&json, baseline_path, &["perf_smoke", "floor_fraction"]);
+    let probe_path = concat!(env!("CARGO_MANIFEST_DIR"), "/benches/BENCH_cache_probe.json");
+    let probe_json = load_baseline(probe_path);
+    let probe_floor = get_num(&probe_json, probe_path, &["perf_smoke", "floor_fraction"]);
 
     let length = RunLength { functional_warmup: 100_000, timed_warmup: 2_000, measure: 10_000 };
-    let step = cycles_per_sec(EngineKind::Step, length);
-    let skip = cycles_per_sec(EngineKind::Skip, length);
+    let step = cycles_per_sec(EngineKind::Step, ProbeKind::Fused, length);
+    let skip = cycles_per_sec(EngineKind::Skip, ProbeKind::Fused, length);
+    let walk = cycles_per_sec(EngineKind::Skip, ProbeKind::Walk, length);
     let speedup = skip / step;
+    let fused_over_walk = skip / walk;
     println!(
         "perf_smoke: {} {}c step={step:.3e} skip={skip:.3e} cycles/s speedup={speedup:.2}x \
-         (recorded {recorded_speedup:.2}x @ {recorded_skip:.3e})",
+         (recorded {recorded_speedup:.2}x @ {recorded_skip:.3e}) \
+         fused/walk={fused_over_walk:.2}x (floor {probe_floor:.2})",
         WORKLOAD.name(),
         CORES,
     );
@@ -94,6 +107,14 @@ fn main() {
             "perf_smoke FAIL: skip engine {skip:.3e} simulated-cycles/s fell below the \
              {floor:.3e} floor ({:.0}% of the recorded reference)",
             floor_fraction * 100.0
+        );
+        failed = true;
+    }
+    if fused_over_walk < probe_floor {
+        eprintln!(
+            "perf_smoke FAIL: the fused probe's end-to-end throughput is only \
+             {fused_over_walk:.2}x the walk probe's, below the {probe_floor:.2} floor — the \
+             presence filter no longer pays for its own maintenance"
         );
         failed = true;
     }

@@ -8,9 +8,11 @@
 //! * **time advance** — the reference `step` engine vs the exact next-event
 //!   `skip` engine ([`bard::EngineKind`]),
 //! * **DRAM command scheduling** — the full-queue `scan` scheduler vs the
-//!   per-bank `incremental` scheduler ([`bard_dram::SchedulerKind`]).
+//!   per-bank `incremental` scheduler ([`bard_dram::SchedulerKind`]),
+//! * **cache lookup** — the reference `walk` probe vs the presence-filtered
+//!   `fused` probe ([`bard::ProbeKind`]).
 //!
-//! Any `(engine, scheduler)` combination must produce a **bitwise
+//! Any `(engine, scheduler, probe)` combination must produce a **bitwise
 //! identical** [`RunResult`] (every counter, every `f64`) and byte-identical
 //! artifact text for any workload, configuration and run length. This module
 //! provides the machinery the stress tests (and any future fast path) build
@@ -26,7 +28,7 @@
 
 use bard::experiment::RunLength;
 use bard::report::{Artifact, Provenance};
-use bard::{EngineKind, RunResult, System, SystemConfig, WritePolicyKind};
+use bard::{EngineKind, ProbeKind, RunResult, System, SystemConfig, WritePolicyKind};
 use bard_cache::ReplacementKind;
 use bard_dram::{DramConfig, PagePolicy, SchedulerKind};
 use bard_workloads::rng::SmallRng;
@@ -38,8 +40,8 @@ use bard_workloads::WorkloadId;
 pub struct StressCase {
     /// Human-readable description for assertion messages.
     pub label: String,
-    /// System configuration (its `engine` / `dram.scheduler` fields are
-    /// overridden per path).
+    /// System configuration (its `engine` / `dram.scheduler` / `probe`
+    /// fields are overridden per path).
     pub config: SystemConfig,
     /// Workload to simulate.
     pub workload: WorkloadId,
@@ -47,15 +49,26 @@ pub struct StressCase {
     pub length: RunLength,
 }
 
-/// The engine × scheduler cross product every case is pushed through.
+/// The engine × scheduler × probe cross product every case is pushed
+/// through.
 #[must_use]
-pub fn all_paths() -> [(EngineKind, SchedulerKind); 4] {
+pub fn all_paths() -> [(EngineKind, SchedulerKind, ProbeKind); 8] {
     [
-        (EngineKind::Step, SchedulerKind::Scan),
-        (EngineKind::Step, SchedulerKind::Incremental),
-        (EngineKind::Skip, SchedulerKind::Scan),
-        (EngineKind::Skip, SchedulerKind::Incremental),
+        (EngineKind::Step, SchedulerKind::Scan, ProbeKind::Walk),
+        (EngineKind::Step, SchedulerKind::Scan, ProbeKind::Fused),
+        (EngineKind::Step, SchedulerKind::Incremental, ProbeKind::Walk),
+        (EngineKind::Step, SchedulerKind::Incremental, ProbeKind::Fused),
+        (EngineKind::Skip, SchedulerKind::Scan, ProbeKind::Walk),
+        (EngineKind::Skip, SchedulerKind::Scan, ProbeKind::Fused),
+        (EngineKind::Skip, SchedulerKind::Incremental, ProbeKind::Walk),
+        (EngineKind::Skip, SchedulerKind::Incremental, ProbeKind::Fused),
     ]
+}
+
+/// A short name for a path, used in assertion messages.
+#[must_use]
+pub fn path_name(engine: EngineKind, scheduler: SchedulerKind, probe: ProbeKind) -> String {
+    format!("{}/{}/{}", engine.name(), scheduler.name(), probe.name())
 }
 
 impl StressCase {
@@ -149,12 +162,38 @@ impl StressCase {
         }
     }
 
-    /// Simulates this case along one `(engine, scheduler)` path, returning
-    /// the run result, the final simulated cycle and the rendered artifact
-    /// text + CSV (which must all be path-invariant).
+    /// A hand-picked case that starves the MSHR file: many cores of a
+    /// miss-heavy workload against a tiny MSHR budget, so cores spend most of
+    /// the run asleep waiting for an MSHR slot and every DRAM completion
+    /// triggers the single-waiter wake-routing path (grant chains, waiter
+    /// retargeting, same-tick allocation intercepts) rather than the easy
+    /// broadcast regime.
     #[must_use]
-    pub fn run_path(&self, engine: EngineKind, scheduler: SchedulerKind) -> PathOutcome {
-        let mut config = self.config.clone().with_engine(engine);
+    pub fn mshr_saturated(workload: WorkloadId) -> Self {
+        let mut config = SystemConfig::small_test();
+        config.cores = 8;
+        config.llc_mshrs = 2;
+        config.writeback_buffer_entries = 4;
+        config.dram = DramConfig::ddr5_4800_x4().with_write_queue_entries(16);
+        Self {
+            label: format!("mshr-saturated {}", workload.name()),
+            config,
+            workload,
+            length: RunLength { functional_warmup: 30_000, timed_warmup: 500, measure: 3_000 },
+        }
+    }
+
+    /// Simulates this case along one `(engine, scheduler, probe)` path,
+    /// returning the run result, the final simulated cycle and the rendered
+    /// artifact text + CSV (which must all be path-invariant).
+    #[must_use]
+    pub fn run_path(
+        &self,
+        engine: EngineKind,
+        scheduler: SchedulerKind,
+        probe: ProbeKind,
+    ) -> PathOutcome {
+        let mut config = self.config.clone().with_engine(engine).with_probe(probe);
         config.dram.scheduler = scheduler;
         let mut system = System::new(config, self.workload);
         let result = system.run(
@@ -167,20 +206,15 @@ impl StressCase {
         PathOutcome { result, final_cycle, text, csv }
     }
 
-    /// Runs the case through all four paths and asserts that every result,
+    /// Runs the case through all eight paths and asserts that every result,
     /// final cycle, artifact text and artifact CSV is bitwise identical.
     /// Returns the (canonical) result for further assertions.
     #[must_use]
     pub fn assert_paths_agree(&self) -> RunResult {
-        let mut reference: Option<(PathOutcome, &'static str)> = None;
-        for (engine, scheduler) in all_paths() {
-            let name: &'static str = match (engine, scheduler) {
-                (EngineKind::Step, SchedulerKind::Scan) => "step/scan",
-                (EngineKind::Step, SchedulerKind::Incremental) => "step/incremental",
-                (EngineKind::Skip, SchedulerKind::Scan) => "skip/scan",
-                (EngineKind::Skip, SchedulerKind::Incremental) => "skip/incremental",
-            };
-            let outcome = self.run_path(engine, scheduler);
+        let mut reference: Option<(PathOutcome, String)> = None;
+        for (engine, scheduler, probe) in all_paths() {
+            let name = path_name(engine, scheduler, probe);
+            let outcome = self.run_path(engine, scheduler, probe);
             match &reference {
                 None => reference = Some((outcome, name)),
                 Some((reference, ref_name)) => {
@@ -229,7 +263,7 @@ impl StressCase {
     }
 }
 
-/// What one `(engine, scheduler)` path produced.
+/// What one `(engine, scheduler, probe)` path produced.
 #[derive(Debug, Clone)]
 pub struct PathOutcome {
     /// The collected run result.

@@ -23,6 +23,9 @@
 //!   (default: `BARD_SCHED` or `incremental`). Both produce bitwise-identical
 //!   results; `scan` is the full-queue reference kept for differential
 //!   testing,
+//! * `--probe=walk|fused`: cache-hierarchy probe implementation (default:
+//!   `BARD_PROBE` or `fused`). Both produce bitwise-identical results;
+//!   `walk` is the per-level reference probe kept for differential testing,
 //! * `--format=text|json|csv`: stdout format (default `text`, byte-identical
 //!   to the historical output),
 //! * `--out=DIR`: additionally write `DIR/<experiment>.json` and
@@ -37,7 +40,7 @@ use std::path::{Path, PathBuf};
 use bard::experiment::{run_workloads_on, Comparison, RunLength};
 use bard::report::{Artifact, Provenance};
 use bard::runner::{Job, Runner};
-use bard::{EngineKind, RunResult, SystemConfig, TraceConfig};
+use bard::{EngineKind, ProbeKind, RunResult, SystemConfig, TraceConfig};
 use bard_dram::SchedulerKind;
 use bard_workloads::WorkloadId;
 
@@ -114,6 +117,7 @@ impl Cli {
         let mut trace_dir: Option<PathBuf> = None;
         let mut engine = EngineKind::from_env();
         let mut scheduler = SchedulerKind::from_env();
+        let mut probe = ProbeKind::from_env();
         for arg in args {
             if arg == "--test" {
                 length = RunLength::test();
@@ -152,6 +156,11 @@ impl Cli {
                 scheduler = Some(SchedulerKind::from_name(name).unwrap_or_else(|name| {
                     panic!("unknown scheduler '{name}' (scan|incremental)")
                 }));
+            } else if let Some(name) = arg.strip_prefix("--probe=") {
+                probe = Some(
+                    ProbeKind::from_name(name)
+                        .unwrap_or_else(|name| panic!("unknown probe '{name}' (walk|fused)")),
+                );
             } else if let Some(name) = arg.strip_prefix("--format=") {
                 format = OutputFormat::from_name(name)
                     .unwrap_or_else(|name| panic!("unknown format '{name}' (text|json|csv)"));
@@ -179,6 +188,9 @@ impl Cli {
         }
         if let Some(scheduler) = scheduler {
             config.dram.scheduler = scheduler;
+        }
+        if let Some(probe) = probe {
+            config.probe = probe;
         }
         Self { length, workloads, config, jobs, format, out }
     }
@@ -236,7 +248,8 @@ fn print_usage() {
     eprintln!(
         "usage: <experiment> [--test|--quick|--standard] [--singles|--mixes] \
          [--workloads=a,b,c] [--cores=N] [--seed=N] [--trace-dir=DIR] [--jobs=N] \
-         [--engine=step|skip] [--sched=scan|incremental] [--format=text|json|csv] [--out=DIR]"
+         [--engine=step|skip] [--sched=scan|incremental] [--probe=walk|fused] \
+         [--format=text|json|csv] [--out=DIR]"
     );
 }
 
@@ -456,6 +469,23 @@ mod tests {
     #[should_panic(expected = "unknown scheduler")]
     fn unknown_scheduler_panics() {
         let _ = Cli::from_args(["--sched=magic".to_string()].into_iter());
+    }
+
+    #[test]
+    fn probe_flag_selects_the_cache_probe_path() {
+        let cli = Cli::from_args(std::iter::empty());
+        assert_eq!(cli.config.probe, ProbeKind::Fused, "fused is the default probe");
+        let cli = Cli::from_args(["--probe=walk".to_string()].into_iter());
+        assert_eq!(cli.config.probe, ProbeKind::Walk);
+        // Flag order must not matter: presets replace the config wholesale.
+        let cli = Cli::from_args(["--probe=walk".to_string(), "--test".to_string()].into_iter());
+        assert_eq!(cli.config.probe, ProbeKind::Walk);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown probe")]
+    fn unknown_probe_panics() {
+        let _ = Cli::from_args(["--probe=psychic".to_string()].into_iter());
     }
 
     #[test]

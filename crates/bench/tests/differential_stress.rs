@@ -1,9 +1,10 @@
-//! Randomized differential stress suite: every `(engine, scheduler)` path
-//! through the simulator must agree bitwise on randomized workload/config
-//! sweeps and on hand-picked queue-saturation cases.
+//! Randomized differential stress suite: every `(engine, scheduler, probe)`
+//! path through the simulator must agree bitwise on randomized
+//! workload/config sweeps and on hand-picked queue-saturation cases.
 //!
 //! This is the acceptance harness for the model-work fast paths (per-bank
-//! incremental scheduling, batched compute dispatch, O(1) sleep gating):
+//! incremental scheduling, batched compute dispatch, O(1) sleep gating,
+//! presence-filtered cache probing, single-waiter MSHR wake routing):
 //! anything they mis-schedule, mis-count or mis-wake shows up here as a
 //! field-level diff between the fast path and its executable reference.
 //! The default run keeps the debug-mode tier-1 suite affordable; CI's
@@ -52,6 +53,24 @@ fn saturated_queue_cases_agree_across_all_paths() {
         assert!(
             result.dram_stats.busy_cycles >= result.dram_stats.cycles,
             "{}: saturation case must keep the queues occupied",
+            case.label
+        );
+    }
+}
+
+/// MSHR-starvation cases: eight cores against a two-entry MSHR file keep a
+/// standing crowd of sleepers blocked on slot availability, so every DRAM
+/// completion exercises the single-waiter wake-routing machinery (ascending
+/// grant chains, waiter retargeting onto tracked lines, same-tick
+/// allocation intercepts) across all eight paths.
+#[test]
+fn mshr_saturated_cases_agree_across_all_paths() {
+    for workload in [WorkloadId::Omnetpp, WorkloadId::Mix0] {
+        let case = StressCase::mshr_saturated(workload);
+        let result = case.assert_paths_agree();
+        assert!(
+            result.dram_stats.reads > 0,
+            "{}: MSHR-saturation case must drive DRAM reads",
             case.label
         );
     }

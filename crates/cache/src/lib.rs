@@ -41,7 +41,7 @@ pub mod replacement;
 pub mod stats;
 
 pub use block::{CacheLine, EvictedLine};
-pub use cache::{CacheConfig, FillResult, SetAssocCache};
+pub use cache::{CacheConfig, FillResult, FusedProbe, ProbeCounters, ProbeKind, SetAssocCache};
 pub use mshr::{MshrError, MshrFile};
 pub use prefetch::{IpStridePrefetcher, NextLinePrefetcher, Prefetcher};
 pub use replacement::{Lru, ReplacementKind, ReplacementPolicy, Ship, Srrip};

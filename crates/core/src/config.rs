@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use bard_cache::ReplacementKind;
+use bard_cache::{ProbeKind, ReplacementKind};
 use bard_cpu::CoreConfig;
 use bard_dram::DramConfig;
 
@@ -195,6 +195,9 @@ pub struct SystemConfig {
     /// Simulation engine (never affects results, only wall clock; see
     /// [`EngineKind`]).
     pub engine: EngineKind,
+    /// Cache-probe implementation (never affects results, only wall clock;
+    /// see [`ProbeKind`]).
+    pub probe: ProbeKind,
 }
 
 impl SystemConfig {
@@ -225,6 +228,7 @@ impl SystemConfig {
             seed: 0x1BAD_B002,
             trace: None,
             engine: EngineKind::default(),
+            probe: ProbeKind::default(),
         }
     }
 
@@ -303,6 +307,14 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy probing caches via `probe` (results are
+    /// probe-invariant; only wall clock changes).
+    #[must_use]
+    pub fn with_probe(mut self, probe: ProbeKind) -> Self {
+        self.probe = probe;
+        self
+    }
+
     /// A short label describing the policy/replacement combination, used in
     /// reports ("bard-h/LRU", "baseline/SRRIP", ...).
     #[must_use]
@@ -320,7 +332,11 @@ impl SystemConfig {
             return Err("at least one core is required".into());
         }
         if self.cores > 64 {
-            return Err("at most 64 cores are supported (the wake masks are u64)".into());
+            return Err(format!(
+                "cores = {} exceeds the 64-core cap (the per-core wake masks are u64 bitmaps; \
+                 see the known-limits section of docs/ARCHITECTURE.md)",
+                self.cores
+            ));
         }
         if !self.llc_slices.is_power_of_two() {
             return Err("LLC slice count must be a power of two".into());
@@ -458,6 +474,26 @@ mod tests {
         // The engine never leaks into report labels: artifacts must be
         // byte-identical across engines.
         assert_eq!(c.label(), c.with_engine(EngineKind::Skip).label());
+    }
+
+    #[test]
+    fn probe_defaults_to_fused_and_stays_out_of_labels() {
+        assert_eq!(SystemConfig::baseline_8core().probe, ProbeKind::Fused);
+        let c = SystemConfig::small_test().with_probe(ProbeKind::Walk);
+        assert_eq!(c.probe, ProbeKind::Walk);
+        assert!(c.validate().is_ok());
+        // The probe path never leaks into report labels: artifacts must be
+        // byte-identical across probe implementations.
+        assert_eq!(c.label(), c.with_probe(ProbeKind::Fused).label());
+    }
+
+    #[test]
+    fn core_cap_error_names_the_offending_field() {
+        let mut c = SystemConfig::baseline_8core();
+        c.cores = 65;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("cores = 65"), "error must report the offending value: {err}");
+        assert!(err.contains("64-core cap"), "error must name the limit: {err}");
     }
 
     #[test]

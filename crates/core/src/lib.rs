@@ -68,6 +68,7 @@ pub mod report;
 pub mod runner;
 pub mod system;
 
+pub use bard_cache::ProbeKind;
 pub use blp_tracker::BlpTracker;
 pub use config::{EngineKind, SystemConfig, TraceConfig};
 pub use experiment::{Comparison, RunLength};

@@ -19,16 +19,17 @@
 //!   the next external trigger. The engine computes that **event horizon**
 //!   — the minimum over the event ring's earliest slot, every sub-channel's
 //!   exact wake cycle (earliest legal command issue, refresh, dead-row closure) and
-//!   the earliest read-completion delivery — jumps `cycle` there in one
-//!   step, and bulk-accounts the per-cycle statistics (core stall counters,
-//!   DRAM busy/write-mode/total cycles, and therefore background energy)
-//!   over the skipped span. See `docs/ARCHITECTURE.md`.
+//!   the earliest read-completion delivery — and jumps `cycle` there in one
+//!   step. Per-cycle statistics (core stall counters, DRAM
+//!   busy/write-mode/total cycles, and therefore background energy) are
+//!   accounted lazily over observed spans, so the jump itself is O(1). See
+//!   `docs/ARCHITECTURE.md`.
 
 use std::collections::VecDeque;
 
 use bard_cache::{
-    CacheConfig, CacheStats, IpStridePrefetcher, MshrFile, NextLinePrefetcher, Prefetcher,
-    SetAssocCache,
+    CacheConfig, CacheStats, FusedProbe, IpStridePrefetcher, MshrFile, NextLinePrefetcher,
+    Prefetcher, ProbeCounters, ProbeKind, SetAssocCache,
 };
 use bard_cpu::{Core, CoreRequest, CoreStats, MemKind, TraceSource};
 use bard_dram::{CompletedRead, EnergyBreakdown, MemRequest, MemoryController, SubChannelStats};
@@ -44,6 +45,21 @@ const MAX_STAGED_PER_CYCLE: usize = 8;
 const DRAM_PENDING_BOUND: usize = 96;
 /// Prefetches dropped beyond this many outstanding DRAM reads.
 const PREFETCH_INFLIGHT_HEADROOM: usize = 16;
+
+/// Safety bound on simulated cycles per requested instruction: a
+/// [`System::run_for_instructions`] call stops (reporting `completed =
+/// false`) once `instructions_per_core * STARVATION_GUARD_CYCLES_PER_INSTRUCTION`
+/// cycles have elapsed without every core retiring its quota.
+///
+/// The blessed value is 250: profiling the tier-1 workloads showed the
+/// slowest legitimately-completing run (copy under BARD-H with the starved
+/// `small_test` geometry) stays under 60 cycles per instruction, so 250
+/// keeps a 4x margin while cutting the worst-case wall clock of a genuinely
+/// starved run to a quarter of the previous 1000-cycle bound. Changing this
+/// value changes guard-terminated artifacts; re-bless the repro goldens and
+/// record the delta in `docs/RESULTS.md` (see the "Starvation guard"
+/// section there).
+pub const STARVATION_GUARD_CYCLES_PER_INSTRUCTION: u64 = 250;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Event {
@@ -172,12 +188,14 @@ pub struct System {
     scratch_retry: Vec<CoreRequest>,
     /// Monotonic count of shared-state **releases** that can unblock a
     /// back-pressured core: a buffered write-back or pending read entering a
-    /// DRAM queue (shrinking the bounded buffers), or an outstanding miss
-    /// completing (freeing an MSHR). A core asleep on memory back-pressure
-    /// re-runs only when this moves. Allocations deliberately do not count:
-    /// they can only happen while the MSHR file has space, so they can
-    /// never clear a "full" rejection — bumping on them woke every blocked
-    /// core once per allocation just to fail the same gate again.
+    /// DRAM queue (shrinking the bounded buffers). A core asleep on memory
+    /// back-pressure re-runs only when this moves. Allocations deliberately
+    /// do not count: they can only happen while the MSHR file has space, so
+    /// they can never clear a "full" rejection — bumping on them woke every
+    /// blocked core once per allocation just to fail the same gate again.
+    /// MSHR completions do not count either: a freed slot helps exactly one
+    /// waiter, so `mshr_released` routes that wake precisely instead of
+    /// broadcasting it (see `mshr_wait_mask`).
     shared_progress: u64,
     /// Per-core sleep/wake bookkeeping (skip engine).
     gates: Vec<WakeGate>,
@@ -199,6 +217,39 @@ pub struct System {
     /// re-checked. Releases only occur before the core loop within a tick,
     /// so snapshotting after the loop cannot lose one.
     release_snapshot: u64,
+    /// Bit per sleeping core blocked on a *full* MSHR file (its line absent
+    /// at sleep time). A freed slot admits exactly one request, so these
+    /// sleepers are **not** in `shared_watch_mask`: on a completion tick the
+    /// core loop force-visits only the lowest waiter (plus one further
+    /// grant after any visited core's cycle that leaves the file non-full),
+    /// instead of waking all N waiters to race for one slot.
+    mshr_wait_mask: u64,
+    /// Bit per sleeping core blocked on the MSHR file whose line *was*
+    /// tracked at sleep time (the waiter-list-overflow path, or a
+    /// `mshr_wait_mask` sleeper whose line another agent allocated since).
+    /// Only that line's completion clears the block, so these are
+    /// force-visited on every completion tick (and stay in
+    /// `shared_watch_mask` for the ordinary release path).
+    mshr_line_watch_mask: u64,
+    /// Set by `handle_dram_response` when an MSHR entry completed this tick
+    /// (the only way `inflight` slots free up); consumed by the core loop
+    /// to route the wake. Completions no longer bump `shared_progress`.
+    mshr_released: bool,
+    /// Bits a mid-loop MSHR allocation adds to the core loop's visit set:
+    /// an allocation of a `mshr_wait_mask` sleeper's line moves the sleeper
+    /// to the line-watch set and must re-check it this very tick (the
+    /// pre-routing engine visited every watcher on completion ticks).
+    forced_visit: u64,
+    /// Whether the fused probe path is active (`config.probe`), cached so
+    /// the per-access dispatch is a single branch.
+    probe_fused: bool,
+    /// Lifetime count of perf-counter events (see `BARD_PERF_COUNTERS`):
+    /// MSHR completions that freed a slot.
+    perf_mshr_releases: u64,
+    /// Cores woken from the MSHR-full wait set (`mshr_wait_mask`); with
+    /// single-waiter routing this should track `perf_mshr_releases` closely
+    /// instead of multiplying by the number of sleepers.
+    perf_mshr_wakes: u64,
 }
 
 impl System {
@@ -267,6 +318,13 @@ impl System {
             event_wake_mask: 0,
             shared_watch_mask: 0,
             release_snapshot: 0,
+            mshr_wait_mask: 0,
+            mshr_line_watch_mask: 0,
+            mshr_released: false,
+            forced_visit: 0,
+            probe_fused: config.probe == ProbeKind::Fused,
+            perf_mshr_releases: 0,
+            perf_mshr_wakes: 0,
             config,
             workload,
             cores,
@@ -336,14 +394,18 @@ impl System {
 
     /// Runs until every core has retired `instructions_per_core` further
     /// instructions. Returns `true` if all cores finished within the safety
-    /// bound (1000 cycles per instruction), `false` otherwise.
+    /// bound ([`STARVATION_GUARD_CYCLES_PER_INSTRUCTION`] cycles per
+    /// instruction), `false` otherwise.
     pub fn run_for_instructions(&mut self, instructions_per_core: u64) -> bool {
         let start_retired: Vec<u64> = self.cores.iter().map(|c| c.core.retired()).collect();
         for ctx in &mut self.cores {
             ctx.finish_cycle = None;
         }
-        let guard =
-            self.cycle.saturating_add(instructions_per_core.saturating_mul(1_000).max(10_000));
+        let guard = self.cycle.saturating_add(
+            instructions_per_core
+                .saturating_mul(STARVATION_GUARD_CYCLES_PER_INSTRUCTION)
+                .max(10_000),
+        );
         let skip = self.config.engine == EngineKind::Skip;
         loop {
             if skip {
@@ -364,10 +426,12 @@ impl System {
             }
             if all_done {
                 self.settle_cores();
+                self.settle_dram_stats();
                 return true;
             }
             if now >= guard {
                 self.settle_cores();
+                self.settle_dram_stats();
                 for ctx in &mut self.cores {
                     ctx.finish_cycle.get_or_insert(now);
                 }
@@ -441,6 +505,27 @@ impl System {
             subchannels += s.subchannels;
             energy.merge(&mc.energy());
         }
+        if perf_counters_enabled() {
+            let mut probes = ProbeCounters::default();
+            for ctx in &self.cores {
+                probes.merge(&ctx.l1d.probe_counters());
+                probes.merge(&ctx.l2.probe_counters());
+            }
+            probes.merge(&self.llc.probe_counters());
+            let settlements: u64 = self.mcs.iter().map(MemoryController::settle_events).sum();
+            eprintln!(
+                "[bard-perf] workload={} probe={} set_scans={} filter_skips={} filter_passes={} \
+                 mshr_releases={} mshr_wakes={} stat_settlements={}",
+                self.workload.name(),
+                self.config.probe.name(),
+                probes.set_scans,
+                probes.filter_skips,
+                probes.filter_passes,
+                self.perf_mshr_releases,
+                self.perf_mshr_wakes,
+                settlements,
+            );
+        }
         RunResult {
             workload: self.workload,
             config_label: self.config.label(),
@@ -480,6 +565,7 @@ impl System {
     fn tick_inner(&mut self, allow_sleep: bool) -> bool {
         let now = self.cycle;
         let event_seq_before = self.event_seq;
+        self.mshr_released = false;
         let mut active = false;
         for mc in &mut self.mcs {
             active |= mc.tick(now);
@@ -515,14 +601,30 @@ impl System {
             if self.shared_progress != self.release_snapshot {
                 visit |= self.shared_watch_mask;
             }
+            // MSHR-release routing: on a completion tick the line watchers
+            // always re-check (the completed line may be theirs), but of
+            // the MSHR-full waiters only the lowest-indexed one is granted
+            // the freed slot. The rest provably sleep on: a freed slot
+            // admits one entry, and the grant chain at the bottom of the
+            // loop hands the slot down in ascending core order whenever a
+            // visited core's cycle leaves the file non-full — exactly the
+            // winner the broadcast scheme's ascending sweep produced,
+            // without visiting the losers.
+            let mut forced = 0u64;
+            if self.mshr_released {
+                forced = self.mshr_line_watch_mask;
+                forced |= self.mshr_wait_mask & self.mshr_wait_mask.wrapping_neg();
+            }
+            visit |= forced;
             self.event_wake_mask = 0;
             self.release_snapshot = self.shared_progress;
             while visit != 0 {
                 let ci = visit.trailing_zeros() as usize;
+                let bit = 1u64 << ci;
                 visit &= visit - 1;
                 let gate = self.gates[ci];
                 if gate.asleep {
-                    if !gate.may_wake(self.shared_progress) {
+                    if !gate.may_wake(self.shared_progress) && forced & bit == 0 {
                         // The core's observed stall cycle repeats verbatim:
                         // nothing it can see has changed. O(1) instead of a
                         // full core cycle; statistics settle on wake.
@@ -531,23 +633,35 @@ impl System {
                     if gate.events_fired == gate.events_seen
                         && self.block_gate_still_shut(gate.block_reason, gate.block_line)
                     {
-                        // Woken only by a shared release, but the gate that
-                        // rejected the core's front retry request is still
-                        // shut: the attempt would be rejected identically
-                        // (a rejection touches no state, and *any* shut
-                        // gate rejects), so the slept cycle repeats
-                        // verbatim. Re-arm and sleep on.
+                        // Woken only by a shared release or a routed grant,
+                        // but the gate that rejected the core's front retry
+                        // request is still shut: the attempt would be
+                        // rejected identically (a rejection touches no
+                        // state, and *any* shut gate rejects), so the slept
+                        // cycle repeats verbatim. Re-arm and sleep on.
                         self.gates[ci].shared_seen = self.shared_progress;
                         continue;
                     }
                     self.gates[ci].asleep = false;
-                    self.awake_mask |= 1u64 << ci;
-                    self.shared_watch_mask &= !(1u64 << ci);
+                    self.awake_mask |= bit;
+                    self.shared_watch_mask &= !bit;
+                    if self.mshr_wait_mask & bit != 0 {
+                        self.perf_mshr_wakes += 1;
+                    }
+                    self.mshr_wait_mask &= !bit;
+                    self.mshr_line_watch_mask &= !bit;
                     self.cores[ci].settle(now);
                 }
                 let stats_before = *self.cores[ci].core.stats();
                 let progress = self.core_cycle(ci, now);
                 active |= progress;
+                // An allocation during this core's cycle may have moved an
+                // MSHR-full waiter to the line-watch set; it must re-check
+                // this very tick (the broadcast scheme visited it), and it
+                // always sits above `ci`, preserving ascending order.
+                let moved = std::mem::take(&mut self.forced_visit);
+                visit |= moved;
+                forced |= moved;
                 if !progress {
                     // A no-progress cycle is a fixed point: with unchanged
                     // wake counters, every following cycle repeats its exact
@@ -556,20 +670,51 @@ impl System {
                     // its real cycle and re-sleeps; a missed wake would
                     // break parity, so the counters cover every unblock
                     // path: own load/store completions, and — for
-                    // back-pressured cores — buffer/MSHR releases).
+                    // back-pressured cores — buffer releases or a routed
+                    // MSHR grant).
                     let delta = self.cores[ci].core.stats().minus(&stats_before);
                     let ctx = &mut self.cores[ci];
                     ctx.sleep_since = now + 1;
                     ctx.sleep_delta = delta;
+                    let watches_shared = !ctx.retry.is_empty();
+                    let (block_reason, block_line) = ctx.block;
                     let gate = &mut self.gates[ci];
                     gate.asleep = true;
                     gate.events_seen = gate.events_fired;
-                    gate.watches_shared = !ctx.retry.is_empty();
+                    gate.watches_shared = watches_shared;
                     gate.shared_seen = self.shared_progress;
-                    (gate.block_reason, gate.block_line) = ctx.block;
-                    self.awake_mask &= !(1u64 << ci);
-                    if gate.watches_shared {
-                        self.shared_watch_mask |= 1u64 << ci;
+                    gate.block_reason = block_reason;
+                    gate.block_line = block_line;
+                    self.awake_mask &= !bit;
+                    if watches_shared {
+                        if block_reason == BlockReason::Mshr && !self.inflight.contains(block_line)
+                        {
+                            // Blocked on a *full* MSHR file: only a freed
+                            // slot helps, and it helps exactly one waiter —
+                            // wait for a routed grant instead of joining the
+                            // broadcast release watchers.
+                            self.mshr_wait_mask |= bit;
+                        } else {
+                            self.shared_watch_mask |= bit;
+                            if block_reason == BlockReason::Mshr {
+                                // Waiter-list overflow on a tracked line:
+                                // only that line's completion clears it.
+                                self.mshr_line_watch_mask |= bit;
+                            }
+                        }
+                    }
+                }
+                // Grant chain: if the freed slot is still unused after this
+                // core's cycle, hand it to the next MSHR-full waiter up the
+                // order (the broadcast sweep would have visited it next and
+                // found the gate open).
+                if self.mshr_released && !self.inflight.is_full() {
+                    let above =
+                        self.mshr_wait_mask & (!0u64).checked_shl(ci as u32 + 1).unwrap_or(0);
+                    if above != 0 {
+                        let grant = above & above.wrapping_neg();
+                        visit |= grant;
+                        forced |= grant;
                     }
                 }
             }
@@ -601,6 +746,17 @@ impl System {
         self.shared_progress += 1;
     }
 
+    /// Settles every sub-channel's lazily-accounted per-cycle DRAM
+    /// statistics (total/busy/write-mode cycles) up to the current cycle.
+    /// Must run before DRAM statistics or energy are read; state mutations
+    /// settle themselves, so this only closes the trailing quiet span.
+    fn settle_dram_stats(&mut self) {
+        let now = self.cycle;
+        for mc in &mut self.mcs {
+            mc.settle_stats(now);
+        }
+    }
+
     /// Settles every sleeping core's lazily-accounted stall statistics up to
     /// the current cycle and wakes it. Must run before statistics are read
     /// or reset.
@@ -615,6 +771,30 @@ impl System {
         self.awake_mask =
             if self.cores.len() == 64 { u64::MAX } else { (1u64 << self.cores.len()) - 1 };
         self.shared_watch_mask = 0;
+        self.mshr_wait_mask = 0;
+        self.mshr_line_watch_mask = 0;
+    }
+
+    /// A new MSHR entry for `line` was just allocated mid-loop: any
+    /// MSHR-full waiter blocked on that same line no longer waits for a
+    /// slot but for the line's completion. Move it to the line-watch set
+    /// and schedule a re-check this very tick — an allocation while full
+    /// waiters exist implies a completion freed the slot this tick, and the
+    /// broadcast scheme would have visited (and woken) the waiter then.
+    fn note_mshr_allocation(&mut self, line: u64) {
+        let mut waiters = self.mshr_wait_mask;
+        while waiters != 0 {
+            let ci = waiters.trailing_zeros() as usize;
+            waiters &= waiters - 1;
+            if self.gates[ci].block_line == line {
+                let bit = 1u64 << ci;
+                self.mshr_wait_mask &= !bit;
+                self.shared_watch_mask |= bit;
+                self.mshr_line_watch_mask |= bit;
+                self.gates[ci].shared_seen = self.shared_progress;
+                self.forced_visit |= bit;
+            }
+        }
     }
 
     /// The skip engine's step: run one real tick (with per-core sleeping);
@@ -625,8 +805,8 @@ impl System {
     /// straight there. Exact by construction: cores, queues and caches only
     /// change through those triggers, so the skipped ticks are provably
     /// identical no-ops. Sleeping cores (a quiet tick leaves every core
-    /// asleep) absorb the jump through their lazy stall accounting; DRAM
-    /// per-cycle statistics are bulk-accounted here.
+    /// asleep) absorb the jump through their lazy stall accounting, and the
+    /// DRAM per-cycle statistics through their span-lazy settlement.
     fn tick_skipping(&mut self, limit: u64) {
         if self.tick_inner(true) {
             return;
@@ -640,9 +820,8 @@ impl System {
         if horizon <= now {
             return;
         }
-        for mc in &mut self.mcs {
-            mc.bulk_idle_advance(horizon - now);
-        }
+        // No per-span statistics work: the sub-channels' lazy settlement
+        // absorbs the jump the same way it absorbs quiet stepped spans.
         self.cycle = horizon;
     }
 
@@ -708,9 +887,18 @@ impl System {
 
         let is_store = req.kind == MemKind::Store;
         let sig = signature(req.ip);
+        // Fused path: the line address, set index and presence-filter mask
+        // are computed once here and carried down the whole L1D -> L2 -> LLC
+        // walk (every level shares the line size, so the probe — a function
+        // of the line address alone — is level-invariant).
+        let probe = FusedProbe::new(line);
 
         // L1D
-        let l1_hit = self.cores[ci].l1d.touch(req.addr, sig, is_store);
+        let l1_hit = if self.probe_fused {
+            self.cores[ci].l1d.touch_fused(&probe, sig, is_store)
+        } else {
+            self.cores[ci].l1d.touch(req.addr, sig, is_store)
+        };
         let mut l1_prefetches = Vec::new();
         if let Some(pf) = &mut self.cores[ci].l1_prefetcher {
             pf.on_access(req.addr, req.ip, l1_hit, &mut l1_prefetches);
@@ -722,7 +910,11 @@ impl System {
         }
 
         // L2
-        let l2_hit = self.cores[ci].l2.touch(req.addr, sig, false);
+        let l2_hit = if self.probe_fused {
+            self.cores[ci].l2.touch_fused(&probe, sig, false)
+        } else {
+            self.cores[ci].l2.touch(req.addr, sig, false)
+        };
         let mut l2_prefetches = Vec::new();
         if let Some(pf) = &mut self.cores[ci].l2_prefetcher {
             pf.on_access(req.addr, req.ip, l2_hit, &mut l2_prefetches);
@@ -739,7 +931,11 @@ impl System {
         let llc_hit = {
             let mut wbs = std::mem::take(&mut self.scratch_writebacks);
             wbs.clear();
-            let hit = self.llc.read_access(req.addr, sig, &mut wbs);
+            let hit = if self.probe_fused {
+                self.llc.read_access_fused(&probe, sig, &mut wbs)
+            } else {
+                self.llc.read_access(req.addr, sig, &mut wbs)
+            };
             self.queue_writebacks(&mut wbs);
             self.scratch_writebacks = wbs;
             hit
@@ -759,8 +955,15 @@ impl System {
             // No wake-counter bump: an allocation can only happen while the
             // MSHR file has space, so it can never clear another core's
             // "MSHR full" rejection, and growing `dram_pending` cannot clear
-            // a bound rejection either. Only releases wake sleepers.
-            Ok(true) => self.dram_pending.push_back(line),
+            // a bound rejection either. Only releases wake sleepers — but a
+            // *new* entry retargets any full-file waiter blocked on this
+            // very line (its gate now clears on the line's completion).
+            Ok(true) => {
+                if self.mshr_wait_mask != 0 {
+                    self.note_mshr_allocation(line);
+                }
+                self.dram_pending.push_back(line);
+            }
             Ok(false) => {}
             Err(_) => {
                 // Waiter-list overflow on an existing entry: only that
@@ -779,7 +982,12 @@ impl System {
     /// Installs a line into a core's L1D, cascading any dirty eviction into
     /// the L2 (and from there into the LLC).
     fn fill_l1(&mut self, ci: usize, line: u64, dirty: bool, sig: u16) {
-        if self.cores[ci].l1d.probe(line).is_some() {
+        let present = if self.probe_fused {
+            self.cores[ci].l1d.probe_fused(&FusedProbe::new(line)).is_some()
+        } else {
+            self.cores[ci].l1d.probe(line).is_some()
+        };
+        if present {
             if dirty {
                 self.cores[ci].l1d.writeback_access(line);
             }
@@ -796,7 +1004,12 @@ impl System {
     /// Installs a line into a core's L2, cascading any dirty eviction into the
     /// LLC.
     fn fill_l2(&mut self, ci: usize, line: u64, sig: u16) {
-        if self.cores[ci].l2.probe(line).is_some() {
+        let present = if self.probe_fused {
+            self.cores[ci].l2.probe_fused(&FusedProbe::new(line)).is_some()
+        } else {
+            self.cores[ci].l2.probe(line).is_some()
+        };
+        if present {
             return;
         }
         let result = self.cores[ci].l2.fill(line, false, sig);
@@ -835,10 +1048,18 @@ impl System {
     fn issue_prefetches(&mut self, ci: usize, addrs: &[u64]) {
         for &addr in addrs {
             let line = self.line_of(addr);
-            if self.cores[ci].l2.probe(line).is_some() {
+            let probe = FusedProbe::new(line);
+            let l2_has = if self.probe_fused {
+                self.cores[ci].l2.probe_fused(&probe).is_some()
+            } else {
+                self.cores[ci].l2.probe(line).is_some()
+            };
+            if l2_has {
                 continue;
             }
-            if self.llc.probe(line) {
+            let llc_has =
+                if self.probe_fused { self.llc.probe_fused(&probe) } else { self.llc.probe(line) };
+            if llc_has {
                 // Bring it into the L2 only; the LLC already has it.
                 let result = self.cores[ci].l2.fill_prefetch(line, 0);
                 if let Some(evicted) = result.evicted {
@@ -856,7 +1077,11 @@ impl System {
             }
             let waiter = encode_prefetch_waiter(ci);
             if let Ok(true) = self.inflight.allocate(line, waiter, false, true) {
-                // No wake-counter bump — see the demand-allocate path.
+                // No wake-counter bump — see the demand-allocate path
+                // (including the full-file waiter retarget).
+                if self.mshr_wait_mask != 0 {
+                    self.note_mshr_allocation(line);
+                }
                 self.dram_pending.push_back(line)
             }
         }
@@ -867,7 +1092,14 @@ impl System {
         let Some((waiters, _any_store, prefetch_only)) = self.inflight.complete(line) else {
             return;
         };
-        self.note_shared_progress();
+        // A completion frees exactly one MSHR slot, and a freed slot admits
+        // exactly one new entry. Instead of bumping `shared_progress` (which
+        // broadcast the wake to every MSHR-full sleeper just so one of them
+        // could claim the slot), flag the release: the core loop routes it
+        // to the single lowest-indexed waiter (plus the line watchers, whose
+        // block this very completion may have cleared).
+        self.mshr_released = true;
+        self.perf_mshr_releases += 1;
         // Fill the LLC through the writeback policy.
         {
             let mut wbs = std::mem::take(&mut self.scratch_writebacks);
@@ -912,10 +1144,20 @@ impl System {
 
     fn functional_access(&mut self, ci: usize, addr: u64, is_write: bool) {
         let line = self.line_of(addr);
-        if self.cores[ci].l1d.touch(addr, 0, is_write) {
+        let probe = FusedProbe::new(line);
+        let l1_hit = if self.probe_fused {
+            self.cores[ci].l1d.touch_fused(&probe, 0, is_write)
+        } else {
+            self.cores[ci].l1d.touch(addr, 0, is_write)
+        };
+        if l1_hit {
             return;
         }
-        let l2_hit = self.cores[ci].l2.touch(addr, 0, false);
+        let l2_hit = if self.probe_fused {
+            self.cores[ci].l2.touch_fused(&probe, 0, false)
+        } else {
+            self.cores[ci].l2.touch(addr, 0, false)
+        };
         if !l2_hit {
             self.llc.functional_access(line, false);
             let result = self.cores[ci].l2.fill(line, false, 0);
@@ -1065,8 +1307,9 @@ impl System {
 /// The replay carries an **exact live fallback**: a run that consumes more
 /// records than the archive holds (rate/mix runs keep feeding fast cores
 /// until the slowest core finishes, and a guard-bounded run can consume up
-/// to 1000 cycles' worth per instruction — no static budget covers every
-/// case) continues from the fast-forwarded live generator instead of
+/// to [`STARVATION_GUARD_CYCLES_PER_INSTRUCTION`] cycles' worth per
+/// instruction — no static budget covers every case) continues from the
+/// fast-forwarded live generator instead of
 /// panicking or wrapping. The recorded prefix *is* the generator prefix, so
 /// results stay bitwise-identical; only wall clock is lost. The archive
 /// budget ([`crate::TraceConfig::budget_for`]) is sized so the common
@@ -1094,6 +1337,17 @@ fn build_trace(config: &SystemConfig, workload: WorkloadId, core: usize) -> Box<
         });
     let seed = config.seed;
     Box::new(replay.with_live_fallback(move || workload.build(core, seed)))
+}
+
+/// True when `BARD_PERF_COUNTERS=1` (or any non-empty value other than
+/// `0`): hot-path instrumentation — probe-filter hits/skips, tag-array set
+/// scans, MSHR wake routing and lazy stat settlements — is summarised on
+/// stderr as one line per collected run. Cached after the first read.
+fn perf_counters_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        std::env::var("BARD_PERF_COUNTERS").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
 }
 
 fn completion_event(core: usize, req: &CoreRequest) -> Event {
@@ -1263,7 +1517,7 @@ mod tests {
         let run = |engine: EngineKind| {
             // Starve the hierarchy (4 MSHRs, 2 write-back buffer slots for 8
             // cores of lbm) so the run cannot retire its target within the
-            // 1000-cycles-per-instruction safety bound: the guard exit — and
+            // cycles-per-instruction safety bound: the guard exit — and
             // with it the skip engine's horizon-capped jump plus the settle
             // of still-sleeping cores — is genuinely exercised.
             let mut cfg = SystemConfig::small_test().with_engine(engine);
@@ -1290,8 +1544,25 @@ mod tests {
         let step = run(EngineKind::Step);
         let skip = run(EngineKind::Skip);
         assert!(!step.0, "the run must hit the cycle guard for this test to bite");
-        assert_eq!(step.1, 500 * 1_000, "the guard must stop the run at exactly measure*1000");
+        assert_eq!(
+            step.1,
+            500 * STARVATION_GUARD_CYCLES_PER_INSTRUCTION,
+            "the guard must stop the run at exactly measure * the guard bound"
+        );
         assert_eq!(step, skip, "guard-terminated runs must be engine-invariant");
+    }
+
+    /// The starvation guard's value is part of the blessed artifact
+    /// contract: guard-terminated runs stop at `measure * guard` cycles, so
+    /// changing it changes those artifacts. This assertion (mirrored by a
+    /// CI step) forces any change to go through the re-bless procedure
+    /// documented in `docs/RESULTS.md`.
+    #[test]
+    fn starvation_guard_value_is_blessed() {
+        assert_eq!(
+            STARVATION_GUARD_CYCLES_PER_INSTRUCTION, 250,
+            "re-bless the repro goldens and update docs/RESULTS.md before changing the guard"
+        );
     }
 
     #[test]

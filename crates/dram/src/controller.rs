@@ -158,12 +158,21 @@ impl MemoryController {
         horizon
     }
 
-    /// Bulk-accounts `span` idle cycles on every sub-channel (see
-    /// [`SubChannel::bulk_idle_advance`]).
-    pub fn bulk_idle_advance(&mut self, span: u64) {
+    /// Settles every sub-channel's lazily-accounted per-cycle statistics
+    /// through cycle `up_to` (see [`SubChannel::settle_stats`]). Must run
+    /// before [`MemoryController::stats`] or [`MemoryController::energy`]
+    /// are read for reporting.
+    pub fn settle_stats(&mut self, up_to: u64) {
         for sub in &mut self.subchannels {
-            sub.bulk_idle_advance(span);
+            sub.settle_stats(up_to);
         }
+    }
+
+    /// Total non-empty statistic settlements across sub-channels (perf
+    /// counter; see [`SubChannel::settle_events`]).
+    #[must_use]
+    pub fn settle_events(&self) -> u64 {
+        self.subchannels.iter().map(SubChannel::settle_events).sum()
     }
 
     /// True if any sub-channel write queue holds a request for the given

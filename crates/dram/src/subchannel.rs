@@ -15,10 +15,11 @@
 //! interesting cycle — the minimum over the next refresh, the next dead-row
 //! closure, and the earliest cycle any queued command becomes legal given the
 //! frozen bank/bank-group/sub-channel timing state — and sleeps until then
-//! ([`SubChannel::next_wake`]). Between now and that cycle a tick is a pure
-//! statistics update, so ticks early-return and the system-level
-//! cycle-skipping engine may jump over the whole span in one step
-//! ([`SubChannel::bulk_idle_advance`]). Unlike the heuristic sleep this
+//! ([`SubChannel::next_wake`]). Between now and that cycle a tick changes
+//! nothing at all — per-cycle statistics settle lazily, span-wise, at the
+//! next state mutation ([`SubChannel::settle_stats`]) — so ticks
+//! early-return and the system-level cycle-skipping engine may jump over
+//! the whole span in one step. Unlike the heuristic sleep this
 //! replaces, a command unblocked by a timing expiry (tFAW, tRC, tRAS, ...)
 //! issues on exactly the cycle the constraint expires, and dead rows are
 //! auto-precharged on exactly the cycle their precharge window opens.
@@ -186,7 +187,15 @@ pub struct SubChannel {
     /// empty), so per-tick drains are O(1) until data is actually ready.
     earliest_ready: u64,
     stats: SubChannelStats,
-    cycles_offset: u64,
+    /// Cycle (exclusive) through which the per-cycle statistics — total,
+    /// write-mode and busy cycles — have been settled. They are accounted
+    /// span-wise: every mutation of their inputs (queue contents, bus mode)
+    /// settles the elapsed span against the *pre-mutation* state first, so
+    /// quiet and skipped spans cost O(1) instead of one update per tick.
+    settled_to: u64,
+    /// Count of non-empty statistic settlements (perf counter; see
+    /// `BARD_PERF_COUNTERS`). Not part of [`SubChannelStats`].
+    settle_events: u64,
     /// Exact next cycle at which this sub-channel can do anything (issue a
     /// command, refresh, or close a dead row). Ticks before this cycle only
     /// account statistics. Reset to 0 (recompute) by any enqueue or issue.
@@ -238,7 +247,8 @@ impl SubChannel {
             completed: Vec::new(),
             earliest_ready: u64::MAX,
             stats: SubChannelStats::default(),
-            cycles_offset: 0,
+            settled_to: 0,
+            settle_events: 0,
             wake_at: 0,
         }
     }
@@ -284,7 +294,7 @@ impl SubChannel {
     /// restarts from the next tick.
     pub fn reset_stats(&mut self, now: u64) {
         self.stats = SubChannelStats::default();
-        self.cycles_offset = now;
+        self.settled_to = now;
         // Restart any in-progress episode accounting so it is attributed to
         // the measurement window only.
         self.episode_start = now;
@@ -320,6 +330,9 @@ impl SubChannel {
         if !self.can_accept_read() {
             return Err(EnqueueError::ReadQueueFull);
         }
+        // The queue-emptiness statistics input changes below: settle the
+        // elapsed span (through this cycle) against the pre-enqueue state.
+        self.settle_stats(now + 1);
         req.enqueue_cycle = now;
         let order = self.next_order;
         self.next_order += 1;
@@ -351,6 +364,7 @@ impl SubChannel {
             self.stats.write_queue_full_events += 1;
             return Err(EnqueueError::WriteQueueFull);
         }
+        self.settle_stats(now + 1);
         req.enqueue_cycle = now;
         let order = self.next_order;
         self.next_order += 1;
@@ -421,20 +435,45 @@ impl SubChannel {
         self.earliest_ready = earliest;
     }
 
-    /// Advances the sub-channel by one CPU cycle. Returns `true` if any
-    /// state changed (a command issued, a refresh ran, a dead row closed, or
-    /// the bus switched mode); a `false` tick was a pure statistics update
-    /// and every tick until [`SubChannel::next_wake`] will be too (absent an
-    /// enqueue).
-    pub fn tick(&mut self, now: u64) -> bool {
-        self.stats.cycles = (now + 1).saturating_sub(self.cycles_offset);
+    /// Settles the per-cycle statistics (total, write-mode and busy cycles)
+    /// through cycle `up_to` (exclusive) against the *current* queue and bus
+    /// state. Called internally before every mutation of those inputs —
+    /// enqueues, issues and drain-mode flips — which makes the span-wise
+    /// accounting exact: between two mutations the state is constant by
+    /// construction, so `span * current_state` equals what per-tick updates
+    /// would have accumulated. Callers reading [`SubChannel::stats`] outside
+    /// the simulation loop must settle to their read cycle first.
+    pub fn settle_stats(&mut self, up_to: u64) {
+        let span = up_to.saturating_sub(self.settled_to);
+        if span == 0 {
+            return;
+        }
+        self.settle_events += 1;
+        self.stats.cycles += span;
         if self.mode == BusMode::WriteDrain {
-            self.stats.write_mode_cycles += 1;
+            self.stats.write_mode_cycles += span;
         }
         if !self.read_q.is_empty() || !self.write_q.is_empty() {
-            self.stats.busy_cycles += 1;
+            self.stats.busy_cycles += span;
         }
+        self.settled_to = up_to;
+    }
 
+    /// Number of non-empty [`SubChannel::settle_stats`] spans so far (perf
+    /// counter: each one replaced `span` per-tick statistic updates).
+    #[must_use]
+    pub fn settle_events(&self) -> u64 {
+        self.settle_events
+    }
+
+    /// Advances the sub-channel by one CPU cycle. Returns `true` if any
+    /// state changed (a command issued, a refresh ran, a dead row closed, or
+    /// the bus switched mode); a `false` tick changed nothing at all, and
+    /// every tick until [`SubChannel::next_wake`] will be equally inert
+    /// (absent an enqueue). Per-cycle statistics are *not* touched here;
+    /// they settle lazily at the next state mutation (see
+    /// [`SubChannel::settle_stats`]).
+    pub fn tick(&mut self, now: u64) -> bool {
         if now < self.wake_at {
             return false;
         }
@@ -498,21 +537,6 @@ impl SubChannel {
     #[must_use]
     pub fn earliest_completion(&self) -> u64 {
         self.earliest_ready
-    }
-
-    /// Bulk-accounts `span` idle cycles in one step: exactly what `span`
-    /// consecutive ticks strictly before [`SubChannel::next_wake`] (and
-    /// before the next completion drain) would have recorded. Used by the
-    /// cycle-skipping engine; queue contents, bus mode and bank state are
-    /// unchanged by construction over such a span.
-    pub fn bulk_idle_advance(&mut self, span: u64) {
-        self.stats.cycles += span;
-        if self.mode == BusMode::WriteDrain {
-            self.stats.write_mode_cycles += span;
-        }
-        if !self.read_q.is_empty() || !self.write_q.is_empty() {
-            self.stats.busy_cycles += span;
-        }
     }
 
     /// Computes the exact next interesting cycle after `now`: the minimum
@@ -641,6 +665,9 @@ impl SubChannel {
     }
 
     fn begin_drain(&mut self, now: u64) {
+        // Settle the read-mode span (through this cycle) before the bus
+        // mode — a write-mode-cycles input — flips.
+        self.settle_stats(now + 1);
         self.mode = BusMode::WriteDrain;
         self.episode_banks = 0;
         self.episode_writes = 0;
@@ -656,6 +683,7 @@ impl SubChannel {
     }
 
     fn end_drain(&mut self, now: u64) {
+        self.settle_stats(now + 1);
         self.mode = BusMode::Read;
         let unique = self.episode_banks.count_ones();
         if self.episode_writes > 0 {
@@ -1009,6 +1037,7 @@ impl SubChannel {
         if self.sub_wr_ok > now {
             return false;
         }
+        self.settle_stats(now + 1);
         let Some(q) = self.write_q.pop_front() else {
             return false;
         };
@@ -1022,6 +1051,7 @@ impl SubChannel {
     }
 
     fn issue_read_column(&mut self, now: u64, idx: usize) {
+        self.settle_stats(now + 1);
         let mut q = self.read_q.remove(idx).expect("index validated");
         let bank = self.bank_index(&q.req);
         self.unindex(Queue::Read, bank, q.order);
@@ -1063,6 +1093,7 @@ impl SubChannel {
     }
 
     fn issue_write_column(&mut self, now: u64, idx: usize) {
+        self.settle_stats(now + 1);
         let mut q = self.write_q.remove(idx).expect("index validated");
         let bank = self.bank_index(&q.req);
         self.unindex(Queue::Write, bank, q.order);
@@ -1498,29 +1529,32 @@ mod tests {
         assert_eq!(sc.stats().reads, 1);
     }
 
-    /// `bulk_idle_advance` must account exactly what per-cycle ticks before
-    /// the wake horizon would have: total, busy and write-mode cycles.
+    /// Span-lazy settlement must account exactly what per-cycle settlement
+    /// would have: total, busy and write-mode cycles. One instance settles
+    /// after every tick (emulating the old per-tick accounting), the other
+    /// only once at the end of the span.
     #[test]
-    fn bulk_idle_advance_matches_per_cycle_ticks() {
+    fn lazy_stat_settlement_matches_per_cycle_settlement() {
         let cfg = config();
         let mapping = AddressMapping::new(&cfg);
-        let mut ticked = SubChannel::new(&cfg);
+        let mut eager = SubChannel::new(&cfg);
         let addr = addrs_where(&mapping, 1, |_| true)[0];
-        ticked.enqueue_read(make_req(&mapping, 1, RequestKind::Read, addr), 0).unwrap();
-        let mut skipped = ticked.clone();
+        eager.enqueue_read(make_req(&mapping, 1, RequestKind::Read, addr), 0).unwrap();
+        let mut lazy = eager.clone();
 
-        // Advance both to cycle 10 (the ACT at 0 makes the next cycles
-        // idle until tRCD expires), then cover [10, 40) per-cycle vs bulk.
-        for cycle in 0..10 {
-            ticked.tick(cycle);
-            skipped.tick(cycle);
+        for cycle in 0..2_000 {
+            eager.tick(cycle);
+            eager.settle_stats(cycle + 1);
+            lazy.tick(cycle);
         }
-        assert!(skipped.next_wake() >= 40, "span under test must be idle");
-        for cycle in 10..40 {
-            ticked.tick(cycle);
-        }
-        skipped.bulk_idle_advance(30);
-        assert_eq!(ticked.stats(), skipped.stats());
+        lazy.settle_stats(2_000);
+        assert!(eager.stats().reads > 0, "the span under test must issue the read");
+        assert!(eager.stats().busy_cycles > 0);
+        assert_eq!(eager.stats(), lazy.stats());
+        assert!(
+            lazy.settle_events() < eager.settle_events(),
+            "the lazy instance must settle in strictly fewer spans"
+        );
     }
 
     #[test]

@@ -20,13 +20,22 @@
 //!   the recorded `floor_fraction` — a filter that stops paying for its
 //!   own maintenance fails CI.
 //!
+//! A fourth check is self-referential (no baseline file):
+//!
+//! * **warm-fork reuse**: a warm-up-heavy four-configuration grid forked
+//!   from a pre-captured `--snapshot-dir` image must beat the same grid run
+//!   cold — the warm grid skips every per-cell functional warm-up, so if it
+//!   stops winning, snapshot restore has become more expensive than the
+//!   simulation it replaces.
+//!
 //! Run manually with `cargo run --release --bin perf_smoke`.
 
 use std::time::Instant;
 
-use bard::experiment::RunLength;
+use bard::experiment::{Comparison, RunLength};
 use bard::report::json::Json;
-use bard::{EngineKind, ProbeKind, System, SystemConfig};
+use bard::runner::Runner;
+use bard::{EngineKind, ProbeKind, SnapshotStore, System, SystemConfig, WritePolicyKind};
 use bard_workloads::WorkloadId;
 
 /// The shape `BENCH_sim_engine.json` records for the smoke check.
@@ -64,6 +73,51 @@ fn get_num(json: &Json, file: &str, path: &[&str]) -> f64 {
         node = node.get(key).unwrap_or_else(|| panic!("{file}: missing key '{}'", path.join(".")));
     }
     node.as_f64().unwrap_or_else(|| panic!("{file}: '{}' not a number", path.join(".")))
+}
+
+/// Wall-clock seconds for one serial fig10-style grid (baseline + three
+/// BARD variants of one workload), cold or forked from `store`.
+fn grid_seconds(length: RunLength, store: Option<&SnapshotStore>) -> f64 {
+    let base = {
+        let mut cfg = SystemConfig::small_test();
+        cfg.cores = CORES;
+        cfg
+    };
+    let variants = [
+        base.clone().with_policy(WritePolicyKind::BardE),
+        base.clone().with_policy(WritePolicyKind::BardC),
+        base.clone().with_policy(WritePolicyKind::BardH),
+    ];
+    let start = Instant::now();
+    let _ =
+        Comparison::run_many_with(&Runner::serial(), &base, &variants, &[WORKLOAD], length, store);
+    start.elapsed().as_secs_f64()
+}
+
+/// True when the warm-fork gate fails: a pre-captured snapshot grid must be
+/// faster than the cold grid (best of three each, warm-up-dominated length).
+fn warm_fork_gate_failed() -> bool {
+    let dir = std::env::temp_dir().join(format!("bard-perf-smoke-snaps-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = SnapshotStore::new(&dir);
+    // Warm-up-dominated on purpose: reuse pays in proportion to the skipped
+    // functional warm-up instructions.
+    let length = RunLength { functional_warmup: 400_000, timed_warmup: 1_000, measure: 4_000 };
+    // Untimed capture pass publishes the shared image.
+    let _ = grid_seconds(length, Some(&store));
+    let cold = (0..3).map(|_| grid_seconds(length, None)).fold(f64::INFINITY, f64::min);
+    let warm = (0..3).map(|_| grid_seconds(length, Some(&store))).fold(f64::INFINITY, f64::min);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("perf_smoke: warm-fork grid cold={cold:.3}s warm={warm:.3}s ({:.2}x)", cold / warm);
+    if warm >= cold {
+        eprintln!(
+            "perf_smoke FAIL: the warm-forked grid ({warm:.3}s) is no faster than the cold \
+             grid ({cold:.3}s) — snapshot restore costs more than the functional warm-up it \
+             skips"
+        );
+        return true;
+    }
+    false
 }
 
 fn main() {
@@ -116,6 +170,9 @@ fn main() {
              {fused_over_walk:.2}x the walk probe's, below the {probe_floor:.2} floor — the \
              presence filter no longer pays for its own maintenance"
         );
+        failed = true;
+    }
+    if warm_fork_gate_failed() {
         failed = true;
     }
     if failed {

@@ -107,12 +107,13 @@ fn print_usage() {
     println!(
         "usage: repro [--list] [--only=id1,id2] [--test|--quick|--standard] \
          [--singles|--mixes] [--workloads=a,b,c] [--cores=N] [--seed=N] \
-         [--trace-dir=DIR] [--jobs=N] [--out=DIR]\n\
+         [--trace-dir=DIR] [--snapshot-dir=DIR] [--jobs=N] [--out=DIR]\n\
          \n\
          Runs every registered figure/table experiment (see --list), writes one\n\
          JSON and one CSV artifact per experiment plus summary.json into --out,\n\
          and exits non-zero if any experiment panics. docs/RESULTS.md documents\n\
          the artifact schema; docs/TRACES.md the --trace-dir record/replay\n\
-         archive."
+         archive; docs/ARCHITECTURE.md the --snapshot-dir warm-image store\n\
+         (config variants fork one warmed image instead of re-warming)."
     );
 }

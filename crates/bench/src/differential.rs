@@ -28,7 +28,9 @@
 
 use bard::experiment::RunLength;
 use bard::report::{Artifact, Provenance};
-use bard::{EngineKind, ProbeKind, RunResult, System, SystemConfig, WritePolicyKind};
+use bard::{
+    EngineKind, ProbeKind, RunOutcome, RunResult, Snapshot, System, SystemConfig, WritePolicyKind,
+};
 use bard_cache::ReplacementKind;
 use bard_dram::{DramConfig, PagePolicy, SchedulerKind};
 use bard_workloads::rng::SmallRng;
@@ -242,6 +244,105 @@ impl StressCase {
             }
         }
         reference.expect("at least one path ran").0.result
+    }
+
+    /// Simulates this case along one path with a mid-run checkpoint at
+    /// simulated cycle `pause_at`: pauses there, captures a snapshot, pushes
+    /// it through the full BSS1 serialize → reparse cycle, restores a fresh
+    /// [`System`] from the image and resumes it to completion. The outcome
+    /// must be bitwise-identical to [`StressCase::run_path`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the run completes before `pause_at` (the checkpoint must
+    /// land mid-run) or the image fails to round-trip or restore.
+    #[must_use]
+    pub fn run_path_checkpointed(
+        &self,
+        engine: EngineKind,
+        scheduler: SchedulerKind,
+        probe: ProbeKind,
+        pause_at: u64,
+    ) -> PathOutcome {
+        let mut config = self.config.clone().with_engine(engine).with_probe(probe);
+        config.dram.scheduler = scheduler;
+        let mut paused = System::new(config.clone(), self.workload);
+        let outcome = paused.run_to_pause(
+            self.length.functional_warmup,
+            self.length.timed_warmup,
+            self.length.measure,
+            Some(pause_at),
+        );
+        assert!(
+            matches!(outcome, RunOutcome::Paused),
+            "{}: run finished before the checkpoint cycle {pause_at}",
+            self.label
+        );
+        let bytes = paused.capture().to_bytes();
+        let snapshot = Snapshot::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("{}: snapshot failed to reparse: {e}", self.label));
+        let mut system = System::restore(config, self.workload, &snapshot)
+            .unwrap_or_else(|e| panic!("{}: snapshot failed to restore: {e}", self.label));
+        let RunOutcome::Done(result) = system.run_to_pause(
+            self.length.functional_warmup,
+            self.length.timed_warmup,
+            self.length.measure,
+            None,
+        ) else {
+            unreachable!("an unpaused resume always finishes")
+        };
+        let final_cycle = system.cycle();
+        let (text, csv) = self.render_artifact(&result);
+        PathOutcome { result, final_cycle, text, csv }
+    }
+
+    /// Runs the case straightline and checkpointed along every path and
+    /// asserts each checkpoint → serialize → restore → resume outcome is
+    /// bitwise identical to its straightline twin: same [`RunResult`], final
+    /// cycle, artifact text and artifact CSV. The checkpoint lands halfway
+    /// through the straightline run's simulated cycles, so it exercises
+    /// mid-warm-up and mid-measure states across cases. Returns the
+    /// (canonical) straightline result for further assertions.
+    #[must_use]
+    pub fn assert_snapshot_parity(&self) -> RunResult {
+        let mut reference: Option<(RunResult, String)> = None;
+        for (engine, scheduler, probe) in all_paths() {
+            let name = path_name(engine, scheduler, probe);
+            let straight = self.run_path(engine, scheduler, probe);
+            let pause_at = (straight.final_cycle / 2).max(1);
+            let resumed = self.run_path_checkpointed(engine, scheduler, probe, pause_at);
+            assert_eq!(
+                straight.final_cycle, resumed.final_cycle,
+                "{}: final cycle diverged after checkpoint/restore on {name}",
+                self.label
+            );
+            assert_eq!(
+                straight.result, resumed.result,
+                "{}: RunResult diverged after checkpoint/restore on {name}",
+                self.label
+            );
+            assert_eq!(
+                straight.text, resumed.text,
+                "{}: artifact text diverged after checkpoint/restore on {name}",
+                self.label
+            );
+            assert_eq!(
+                straight.csv, resumed.csv,
+                "{}: artifact CSV diverged after checkpoint/restore on {name}",
+                self.label
+            );
+            match &reference {
+                None => reference = Some((straight.result, name)),
+                Some((reference, ref_name)) => {
+                    assert_eq!(
+                        *reference, straight.result,
+                        "{}: RunResult diverged between {ref_name} and {name}",
+                        self.label
+                    );
+                }
+            }
+        }
+        reference.expect("at least one path ran").0
     }
 
     /// Renders the result as a minimal artifact (text + CSV). The

@@ -13,6 +13,10 @@
 //! * `--trace-dir=DIR`: run from the BTF trace archive in `DIR` —
 //!   record-if-missing, replay-if-present, bitwise-identical results either
 //!   way (see `docs/TRACES.md`),
+//! * `--snapshot-dir=DIR`: reuse warm-state BSS1 snapshot images from `DIR` —
+//!   capture-if-missing, restore-if-present, so a grid's config variants fork
+//!   one warmed image instead of each re-running the functional warm-up;
+//!   results are bitwise-identical either way (see `docs/ARCHITECTURE.md`),
 //! * `--jobs=N`: simulation worker threads (default: `BARD_JOBS` or all
 //!   host cores; `--jobs=1` forces the serial path),
 //! * `--engine=step|skip`: simulation engine (default: `BARD_ENGINE` or
@@ -37,10 +41,10 @@
 
 use std::path::{Path, PathBuf};
 
-use bard::experiment::{run_workloads_on, Comparison, RunLength};
+use bard::experiment::{run_workloads_with, Comparison, RunLength};
 use bard::report::{Artifact, Provenance};
 use bard::runner::{Job, Runner};
-use bard::{EngineKind, ProbeKind, RunResult, SystemConfig, TraceConfig};
+use bard::{EngineKind, ProbeKind, RunResult, SnapshotStore, SystemConfig, TraceConfig};
 use bard_dram::SchedulerKind;
 use bard_workloads::WorkloadId;
 
@@ -87,6 +91,8 @@ pub struct Cli {
     pub format: OutputFormat,
     /// Artifact output directory (`--out=DIR`), if any.
     pub out: Option<PathBuf>,
+    /// Warm-image store (`--snapshot-dir=DIR`), if any.
+    pub snapshots: Option<SnapshotStore>,
 }
 
 impl Cli {
@@ -115,6 +121,7 @@ impl Cli {
         let mut out = None;
         let mut seed = None;
         let mut trace_dir: Option<PathBuf> = None;
+        let mut snapshot_dir: Option<PathBuf> = None;
         let mut engine = EngineKind::from_env();
         let mut scheduler = SchedulerKind::from_env();
         let mut probe = ProbeKind::from_env();
@@ -145,6 +152,8 @@ impl Cli {
                 seed = Some(n.parse().expect("--seed=N needs a number"));
             } else if let Some(dir) = arg.strip_prefix("--trace-dir=") {
                 trace_dir = Some(PathBuf::from(dir));
+            } else if let Some(dir) = arg.strip_prefix("--snapshot-dir=") {
+                snapshot_dir = Some(PathBuf::from(dir));
             } else if let Some(n) = arg.strip_prefix("--jobs=") {
                 jobs = n.parse().expect("--jobs=N needs a number");
             } else if let Some(name) = arg.strip_prefix("--engine=") {
@@ -192,7 +201,8 @@ impl Cli {
         if let Some(probe) = probe {
             config.probe = probe;
         }
-        Self { length, workloads, config, jobs, format, out }
+        let snapshots = snapshot_dir.map(SnapshotStore::new);
+        Self { length, workloads, config, jobs, format, out, snapshots }
     }
 
     /// The runner configured by `--jobs` (auto-sized when the flag is
@@ -220,7 +230,15 @@ impl Cli {
     /// Runs one configuration over the CLI workload set, in parallel.
     #[must_use]
     pub fn run(&self, config: &SystemConfig) -> Vec<RunResult> {
-        run_workloads_on(&self.runner(), config, &self.workloads, self.length)
+        let results = run_workloads_with(
+            &self.runner(),
+            config,
+            &self.workloads,
+            self.length,
+            self.snapshots.as_ref(),
+        );
+        self.report_snapshot_counters();
+        results
     }
 
     /// Runs several configurations over the CLI workload set as **one**
@@ -228,11 +246,17 @@ impl Cli {
     /// (aligned with `self.workloads`).
     #[must_use]
     pub fn run_grid(&self, configs: &[SystemConfig]) -> Vec<Vec<RunResult>> {
-        let mut flat = self.runner().run_grid(Job::grid(configs, &self.workloads, self.length));
+        let mut flat = self.runner().run_grid(Job::grid_with_snapshots(
+            configs,
+            &self.workloads,
+            self.length,
+            self.snapshots.as_ref(),
+        ));
         let mut grouped = Vec::with_capacity(configs.len());
         for _ in configs {
             grouped.push(flat.drain(..self.workloads.len()).collect());
         }
+        self.report_snapshot_counters();
         grouped
     }
 
@@ -240,15 +264,33 @@ impl Cli {
     /// simulating the baseline once and the whole grid in parallel.
     #[must_use]
     pub fn compare(&self, baseline: &SystemConfig, variants: &[SystemConfig]) -> Vec<Comparison> {
-        Comparison::run_many_on(&self.runner(), baseline, variants, &self.workloads, self.length)
+        let comparisons = Comparison::run_many_with(
+            &self.runner(),
+            baseline,
+            variants,
+            &self.workloads,
+            self.length,
+            self.snapshots.as_ref(),
+        );
+        self.report_snapshot_counters();
+        comparisons
+    }
+
+    /// Emits the `[bard-perf] snapshot ...` stderr line after a
+    /// snapshot-backed grid, when `BARD_PERF_COUNTERS` is enabled.
+    fn report_snapshot_counters(&self) {
+        if self.snapshots.is_some() {
+            bard::snapshot::print_counters_if_enabled();
+        }
     }
 }
 
 fn print_usage() {
     eprintln!(
         "usage: <experiment> [--test|--quick|--standard] [--singles|--mixes] \
-         [--workloads=a,b,c] [--cores=N] [--seed=N] [--trace-dir=DIR] [--jobs=N] \
-         [--engine=step|skip] [--sched=scan|incremental] [--probe=walk|fused] \
+         [--workloads=a,b,c] [--cores=N] [--seed=N] [--trace-dir=DIR] \
+         [--snapshot-dir=DIR] [--jobs=N] [--engine=step|skip] \
+         [--sched=scan|incremental] [--probe=walk|fused] \
          [--format=text|json|csv] [--out=DIR]"
     );
 }
@@ -401,6 +443,15 @@ mod tests {
         assert_eq!(trace.instructions_per_core, TraceConfig::budget_for(RunLength::test()));
         let cli = Cli::from_args(std::iter::empty());
         assert!(cli.config.trace.is_none());
+    }
+
+    #[test]
+    fn snapshot_dir_flag_configures_the_store() {
+        let cli = Cli::from_args(["--snapshot-dir=/tmp/snaps".to_string()].into_iter());
+        let store = cli.snapshots.as_ref().expect("snapshot store set");
+        assert_eq!(store.dir(), Path::new("/tmp/snaps"));
+        let cli = Cli::from_args(std::iter::empty());
+        assert!(cli.snapshots.is_none());
     }
 
     #[test]

@@ -75,3 +75,33 @@ fn mshr_saturated_cases_agree_across_all_paths() {
         );
     }
 }
+
+/// Snapshot-parity sweep: randomized `(workload, config, seed, run-length)`
+/// tuples, each paused halfway through its run, captured into a BSS1 image,
+/// serialized, reparsed, restored into a fresh `System` and resumed — and
+/// the resumed run must be bitwise-identical (RunResult, final cycle,
+/// artifact text, artifact CSV) to the straightline run along **every**
+/// engine × scheduler × probe path. A different RNG stream than the
+/// path-parity sweep, so the two suites cover different configurations.
+#[test]
+fn randomized_cases_resume_bitwise_identically_from_snapshots() {
+    let mut rng = SmallRng::seed_from_u64(0x5AAB_5071);
+    for index in 0..case_count() {
+        let case = StressCase::random(&mut rng, index);
+        let result = case.assert_snapshot_parity();
+        assert!(result.total_cycles > 0, "{}: empty run", case.label);
+    }
+}
+
+/// Saturated queues are where restore has the most state to get right:
+/// full write queues, drain mode mid-episode, a crowd of sleeping cores.
+/// The checkpoint/restore cycle must be invisible there too.
+#[test]
+fn saturated_queue_cases_resume_bitwise_identically_from_snapshots() {
+    for workload in [WorkloadId::Copy, WorkloadId::Omnetpp] {
+        let saturated = StressCase::saturated(workload);
+        let _ = saturated.assert_snapshot_parity();
+        let starved = StressCase::mshr_saturated(workload);
+        let _ = starved.assert_snapshot_parity();
+    }
+}

@@ -13,7 +13,7 @@
 //!   selection and perform proactive write-backs.
 
 use crate::block::{CacheLine, EvictedLine};
-use crate::replacement::{ReplacementKind, ReplacementPolicy};
+use crate::replacement::{ReplacementKind, ReplacementPolicy, ReplacementState};
 use crate::stats::CacheStats;
 
 /// Which cache-probe implementation the system uses on the demand path.
@@ -189,6 +189,24 @@ impl CacheConfig {
     }
 }
 
+/// Plain-data image of a cache's semantic state (snapshot support):
+/// the line array, per-way reuse bits, the replacement-policy state and the
+/// statistics counters. The derived acceleration structures (dense tag
+/// array, presence filters, cached filter bits) are **not** part of the
+/// image — [`SetAssocCache::import_state`] rebuilds them from the lines, so
+/// a restored cache is field-for-field identical to the captured one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheState {
+    /// Every way of every set, set-major (`sets * ways` entries).
+    pub lines: Vec<CacheLine>,
+    /// Per-way reuse bits (SHiP training input), aligned with `lines`.
+    pub reused: Vec<bool>,
+    /// Replacement-policy state.
+    pub replacement: ReplacementState,
+    /// Statistics counters.
+    pub stats: CacheStats,
+}
+
 /// Result of a [`SetAssocCache::fill`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FillResult {
@@ -279,6 +297,54 @@ impl SetAssocCache {
     #[must_use]
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Exports the cache's semantic state (snapshot support). The derived
+    /// tag array and presence filters are not exported; they are rebuilt on
+    /// import.
+    #[must_use]
+    pub fn export_state(&self) -> CacheState {
+        CacheState {
+            lines: self.lines.clone(),
+            reused: self.reused.clone(),
+            replacement: self.policy.export_state(),
+            stats: self.stats,
+        }
+    }
+
+    /// Replaces the cache's semantic state with `state` and rebuilds every
+    /// derived structure (tags, presence filters, cached filter bits) from
+    /// the imported lines (snapshot support).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state's geometry or replacement-policy variant does
+    /// not match this cache — restores are gated by snapshot digests, so a
+    /// mismatch is a programming error.
+    pub fn import_state(&mut self, state: &CacheState) {
+        assert_eq!(state.lines.len(), self.lines.len(), "cache geometry mismatch");
+        assert_eq!(state.reused.len(), self.reused.len(), "cache geometry mismatch");
+        self.lines.clone_from(&state.lines);
+        self.reused.clone_from(&state.reused);
+        self.policy.import_state(&state.replacement);
+        self.stats = state.stats;
+        for set in 0..self.sets {
+            let base = set * self.config.ways;
+            let mut filter = 0u64;
+            for way in 0..self.config.ways {
+                let idx = base + way;
+                if self.lines[idx].valid {
+                    let bit = filter_bit(self.lines[idx].addr);
+                    self.tags[idx] = self.lines[idx].addr;
+                    self.filter_bits[idx] = bit as u8;
+                    filter |= 1u64 << bit;
+                } else {
+                    self.tags[idx] = TAG_INVALID;
+                    self.filter_bits[idx] = 0;
+                }
+            }
+            self.filters[set] = filter;
+        }
     }
 
     /// Clears the statistics counters while keeping cache contents
@@ -575,6 +641,44 @@ mod tests {
     fn small_cache() -> SetAssocCache {
         // 4 sets x 4 ways x 64 B = 1 KiB
         SetAssocCache::new(CacheConfig::new(1024, 4, 64), ReplacementKind::Lru)
+    }
+
+    #[test]
+    fn state_round_trip_rebuilds_derived_structures() {
+        for kind in [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Ship] {
+            let mut warmed = SetAssocCache::new(CacheConfig::new(1024, 4, 64), kind);
+            for i in 0..200u64 {
+                let addr = (i * 192) % 4096 + (i % 7) * 4096;
+                if !warmed.touch(addr, (i % 13) as u16, i % 3 == 0) {
+                    warmed.fill(addr, i % 3 == 0, (i % 13) as u16);
+                }
+            }
+            let state = warmed.export_state();
+            let mut restored = SetAssocCache::new(CacheConfig::new(1024, 4, 64), kind);
+            restored.import_state(&state);
+            assert_eq!(restored.export_state(), state);
+            // The rebuilt filters/tags must answer probes identically,
+            // through both probe paths.
+            for i in 0..300u64 {
+                let addr = (i * 64) % (8 * 4096);
+                assert_eq!(warmed.probe(addr), restored.probe(addr));
+                let probe = FusedProbe::new(warmed.line_addr(addr));
+                assert_eq!(warmed.probe_fused(&probe), restored.probe_fused(&probe));
+            }
+            // And future decisions must coincide.
+            for set in 0..4 {
+                assert_eq!(warmed.eviction_order(set), restored.eviction_order(set));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cache geometry mismatch")]
+    fn state_import_rejects_wrong_geometry() {
+        let donor = small_cache();
+        let state = donor.export_state();
+        let mut wrong = SetAssocCache::new(CacheConfig::new(2048, 4, 64), ReplacementKind::Lru);
+        wrong.import_state(&state);
     }
 
     #[test]

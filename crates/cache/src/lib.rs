@@ -41,8 +41,12 @@ pub mod replacement;
 pub mod stats;
 
 pub use block::{CacheLine, EvictedLine};
-pub use cache::{CacheConfig, FillResult, FusedProbe, ProbeCounters, ProbeKind, SetAssocCache};
-pub use mshr::{MshrError, MshrFile};
-pub use prefetch::{IpStridePrefetcher, NextLinePrefetcher, Prefetcher};
-pub use replacement::{Lru, ReplacementKind, ReplacementPolicy, Ship, Srrip};
+pub use cache::{
+    CacheConfig, CacheState, FillResult, FusedProbe, ProbeCounters, ProbeKind, SetAssocCache,
+};
+pub use mshr::{MshrEntryState, MshrError, MshrFile, MshrState};
+pub use prefetch::{
+    IpStridePrefetcher, NextLinePrefetcher, Prefetcher, StrideEntryState, StrideTableState,
+};
+pub use replacement::{Lru, ReplacementKind, ReplacementPolicy, ReplacementState, Ship, Srrip};
 pub use stats::CacheStats;

@@ -66,6 +66,32 @@ struct MshrEntry {
     prefetch_only: bool,
 }
 
+/// Plain-data image of one outstanding miss (snapshot support).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MshrEntryState {
+    /// Line address the miss targets.
+    pub line: u64,
+    /// Waiter tokens in merge order.
+    pub waiters: Vec<u64>,
+    /// Whether any merged request is a demand write.
+    pub write_requested: bool,
+    /// Whether the entry is still prefetch-only.
+    pub prefetch_only: bool,
+}
+
+/// Plain-data image of an MSHR file (snapshot support). Entries are sorted
+/// by line address so the image is canonical regardless of map iteration
+/// order (no simulator code depends on that order; see [`LineHasher`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MshrState {
+    /// Outstanding misses, sorted by line address.
+    pub entries: Vec<MshrEntryState>,
+    /// Highest simultaneous occupancy observed.
+    pub peak_occupancy: u64,
+    /// Requests merged into already-outstanding misses.
+    pub merges: u64,
+}
+
 /// A file of MSHRs keyed by line address.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
@@ -170,6 +196,53 @@ impl MshrFile {
         Ok(true)
     }
 
+    /// Exports the file's state, entries sorted by line address (snapshot
+    /// support).
+    #[must_use]
+    pub fn export_state(&self) -> MshrState {
+        let mut entries: Vec<MshrEntryState> = self
+            .entries
+            .iter()
+            .map(|(&line, e)| MshrEntryState {
+                line,
+                waiters: e.waiters.clone(),
+                write_requested: e.write_requested,
+                prefetch_only: e.prefetch_only,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.line);
+        MshrState { entries, peak_occupancy: self.peak_occupancy as u64, merges: self.merges }
+    }
+
+    /// Replaces the file's state with `state` (snapshot support).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` holds more entries than this file's capacity —
+    /// restores are gated by snapshot digests, so a mismatch is a
+    /// programming error.
+    pub fn import_state(&mut self, state: &MshrState) {
+        assert!(
+            state.entries.len() <= self.capacity,
+            "MSHR state holds {} entries but the file has capacity {}",
+            state.entries.len(),
+            self.capacity
+        );
+        self.entries.clear();
+        for e in &state.entries {
+            self.entries.insert(
+                e.line,
+                MshrEntry {
+                    waiters: e.waiters.clone(),
+                    write_requested: e.write_requested,
+                    prefetch_only: e.prefetch_only,
+                },
+            );
+        }
+        self.peak_occupancy = state.peak_occupancy as usize;
+        self.merges = state.merges;
+    }
+
     /// Completes the miss for `line_addr`, returning the waiters, whether the
     /// fill should be installed dirty, and whether the entry stayed
     /// prefetch-only. Returns `None` if no such miss is outstanding.
@@ -227,6 +300,43 @@ mod tests {
     fn complete_unknown_address_is_none() {
         let mut m = MshrFile::new(2);
         assert!(m.complete(0xdead).is_none());
+    }
+
+    #[test]
+    fn state_export_import_round_trips() {
+        let mut m = MshrFile::new(8);
+        m.allocate(0x300, 7, false, true).unwrap();
+        m.allocate(0x100, 1, false, false).unwrap();
+        m.allocate(0x100, 2, true, false).unwrap();
+        m.allocate(0x200, 3, false, false).unwrap();
+        m.complete(0x200).unwrap();
+
+        let state = m.export_state();
+        // Canonical ordering: sorted by line address.
+        assert_eq!(state.entries.iter().map(|e| e.line).collect::<Vec<_>>(), vec![0x100, 0x300]);
+        assert_eq!(state.peak_occupancy, 3);
+        assert_eq!(state.merges, 1);
+
+        let mut fresh = MshrFile::new(8);
+        fresh.import_state(&state);
+        assert_eq!(fresh.export_state(), state);
+        let (waiters, dirty, _) = fresh.complete(0x100).unwrap();
+        assert_eq!(waiters, vec![1, 2]);
+        assert!(dirty);
+        let (_, _, prefetch_only) = fresh.complete(0x300).unwrap();
+        assert!(prefetch_only);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn state_import_rejects_overfull_image() {
+        let mut big = MshrFile::new(4);
+        for i in 0..3u64 {
+            big.allocate(i * 64, i, false, false).unwrap();
+        }
+        let state = big.export_state();
+        let mut small = MshrFile::new(2);
+        small.import_state(&state);
     }
 
     #[test]

@@ -40,12 +40,32 @@ pub struct IpStridePrefetcher {
     entries: Vec<StrideEntry>,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct StrideEntry {
     ip_tag: u64,
     last_addr: u64,
     stride: i64,
     confidence: u8,
+}
+
+/// Plain-data image of one stride-table entry (snapshot support).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrideEntryState {
+    /// Full instruction pointer tagged into this slot.
+    pub ip_tag: u64,
+    /// Last byte address observed for the tagged IP.
+    pub last_addr: u64,
+    /// Learned stride in bytes (signed).
+    pub stride: i64,
+    /// Saturating confidence counter (0..=3).
+    pub confidence: u8,
+}
+
+/// Plain-data image of an [`IpStridePrefetcher`] table (snapshot support).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrideTableState {
+    /// One entry per direct-mapped table slot, in slot order.
+    pub entries: Vec<StrideEntryState>,
 }
 
 impl IpStridePrefetcher {
@@ -69,6 +89,42 @@ impl IpStridePrefetcher {
 
     fn index(&self, ip: u64) -> usize {
         (ip as usize ^ (ip >> 12) as usize) & (self.table_entries - 1)
+    }
+
+    /// Exports the stride table (snapshot support).
+    #[must_use]
+    pub fn export_state(&self) -> StrideTableState {
+        StrideTableState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| StrideEntryState {
+                    ip_tag: e.ip_tag,
+                    last_addr: e.last_addr,
+                    stride: e.stride,
+                    confidence: e.confidence,
+                })
+                .collect(),
+        }
+    }
+
+    /// Replaces the stride table with `state` (snapshot support).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image was taken from a table of a different size —
+    /// restores are gated by snapshot digests, so a mismatch is a
+    /// programming error.
+    pub fn import_state(&mut self, state: &StrideTableState) {
+        assert_eq!(state.entries.len(), self.table_entries, "stride table geometry mismatch");
+        for (slot, e) in self.entries.iter_mut().zip(&state.entries) {
+            *slot = StrideEntry {
+                ip_tag: e.ip_tag,
+                last_addr: e.last_addr,
+                stride: e.stride,
+                confidence: e.confidence,
+            };
+        }
     }
 }
 
@@ -195,6 +251,38 @@ mod tests {
         }
         assert!(out.iter().any(|&a| a > 0x80_000), "second stream should prefetch");
         assert!(out.iter().any(|&a| a < 0x80_000), "first stream should prefetch");
+    }
+
+    #[test]
+    fn stride_state_round_trips_and_preserves_training() {
+        let mut p = IpStridePrefetcher::new(64, 64, 2);
+        let ip = 0x4008;
+        let mut out = Vec::new();
+        for i in 0..6u64 {
+            p.on_access(0x1_0000 + i * 256, ip, false, &mut out);
+        }
+        let state = p.export_state();
+
+        let mut fresh = IpStridePrefetcher::new(64, 64, 2);
+        fresh.import_state(&state);
+        assert_eq!(fresh.export_state(), state);
+
+        // The restored table must prefetch exactly like the trained one.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        p.on_access(0x1_0000 + 6 * 256, ip, false, &mut a);
+        fresh.on_access(0x1_0000 + 6 * 256, ip, false, &mut b);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stride table geometry mismatch")]
+    fn stride_state_rejects_wrong_table_size() {
+        let p = IpStridePrefetcher::new(64, 64, 2);
+        let state = p.export_state();
+        let mut other = IpStridePrefetcher::new(128, 64, 2);
+        other.import_state(&state);
     }
 
     #[test]

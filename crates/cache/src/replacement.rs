@@ -40,6 +40,34 @@ impl ReplacementKind {
     }
 }
 
+/// Plain-data image of a replacement policy's mutable state (snapshot
+/// support). The variant must match the policy it is imported into; the
+/// geometry (`sets * ways` vector lengths) is validated on import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplacementState {
+    /// [`Lru`] state: the global stamp counter and per-way timestamps.
+    Lru {
+        /// Global monotonically increasing touch stamp.
+        stamp: u64,
+        /// Per-way last-use stamps (`sets * ways`).
+        last_use: Vec<u64>,
+    },
+    /// [`Srrip`] state: per-way re-reference prediction values.
+    Srrip {
+        /// Per-way RRPVs (`sets * ways`).
+        rrpv: Vec<u8>,
+    },
+    /// [`Ship`] state: RRPVs, per-line signatures and the SHCT.
+    Ship {
+        /// Per-way RRPVs (`sets * ways`).
+        rrpv: Vec<u8>,
+        /// Per-way fill signatures (`sets * ways`).
+        line_sig: Vec<u16>,
+        /// Signature history counter table.
+        shct: Vec<u8>,
+    },
+}
+
 /// Interface every replacement policy implements.
 ///
 /// The cache calls `on_hit` / `on_insert` / `on_evict` to keep the policy
@@ -61,6 +89,16 @@ pub trait ReplacementPolicy: std::fmt::Debug + Send {
     fn eviction_order(&self, set: usize, out: &mut Vec<usize>);
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+    /// Exports the policy's mutable state (snapshot support).
+    fn export_state(&self) -> ReplacementState;
+    /// Replaces the policy's mutable state (snapshot support).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state variant or geometry does not match this policy —
+    /// snapshot digests gate restores, so a mismatch here is a programming
+    /// error, not a recoverable condition.
+    fn import_state(&mut self, state: &ReplacementState);
 }
 
 /// True LRU: per-way timestamps updated on every touch.
@@ -114,6 +152,21 @@ impl ReplacementPolicy for Lru {
 
     fn name(&self) -> &'static str {
         "LRU"
+    }
+
+    fn export_state(&self) -> ReplacementState {
+        ReplacementState::Lru { stamp: self.stamp, last_use: self.last_use.clone() }
+    }
+
+    fn import_state(&mut self, state: &ReplacementState) {
+        match state {
+            ReplacementState::Lru { stamp, last_use } => {
+                assert_eq!(last_use.len(), self.last_use.len(), "LRU geometry mismatch");
+                self.stamp = *stamp;
+                self.last_use.clone_from(last_use);
+            }
+            other => panic!("cannot import {other:?} into an LRU policy"),
+        }
     }
 }
 
@@ -180,6 +233,20 @@ impl ReplacementPolicy for Srrip {
 
     fn name(&self) -> &'static str {
         "SRRIP"
+    }
+
+    fn export_state(&self) -> ReplacementState {
+        ReplacementState::Srrip { rrpv: self.rrpv.clone() }
+    }
+
+    fn import_state(&mut self, state: &ReplacementState) {
+        match state {
+            ReplacementState::Srrip { rrpv } => {
+                assert_eq!(rrpv.len(), self.rrpv.len(), "SRRIP geometry mismatch");
+                self.rrpv.clone_from(rrpv);
+            }
+            other => panic!("cannot import {other:?} into an SRRIP policy"),
+        }
     }
 }
 
@@ -268,6 +335,27 @@ impl ReplacementPolicy for Ship {
 
     fn name(&self) -> &'static str {
         "SHiP"
+    }
+
+    fn export_state(&self) -> ReplacementState {
+        ReplacementState::Ship {
+            rrpv: self.rrpv.clone(),
+            line_sig: self.line_sig.clone(),
+            shct: self.shct.clone(),
+        }
+    }
+
+    fn import_state(&mut self, state: &ReplacementState) {
+        match state {
+            ReplacementState::Ship { rrpv, line_sig, shct } => {
+                assert_eq!(rrpv.len(), self.rrpv.len(), "SHiP geometry mismatch");
+                assert_eq!(shct.len(), self.shct.len(), "SHCT size mismatch");
+                self.rrpv.clone_from(rrpv);
+                self.line_sig.clone_from(line_sig);
+                self.shct.clone_from(shct);
+            }
+            other => panic!("cannot import {other:?} into a SHiP policy"),
+        }
     }
 }
 
@@ -377,6 +465,33 @@ mod tests {
             assert_eq!(p.name(), name);
             assert_eq!(kind.name(), name);
         }
+    }
+
+    #[test]
+    fn state_export_import_round_trips_every_policy() {
+        for kind in [ReplacementKind::Lru, ReplacementKind::Srrip, ReplacementKind::Ship] {
+            let mut trained = kind.build(2, 4);
+            for way in 0..4 {
+                trained.on_insert(0, way, way as u16);
+            }
+            trained.on_hit(0, 2, 2);
+            trained.on_evict(0, 1, false);
+            let state = trained.export_state();
+            let mut fresh = kind.build(2, 4);
+            fresh.import_state(&state);
+            assert_eq!(fresh.export_state(), state, "{}", trained.name());
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            trained.eviction_order(0, &mut a);
+            fresh.eviction_order(0, &mut b);
+            assert_eq!(a, b, "{}: imported state must decide identically", trained.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot import")]
+    fn mismatched_state_variant_is_rejected() {
+        let mut lru = Lru::new(1, 4);
+        lru.import_state(&ReplacementState::Srrip { rrpv: vec![0; 4] });
     }
 
     #[test]

@@ -23,6 +23,21 @@ pub struct BlpTracker {
     reset_events: u64,
 }
 
+/// Plain-data image of a [`BlpTracker`] (snapshot support).
+///
+/// Geometry (`banks_per_channel` / `banks_per_subchannel`) is intentionally
+/// excluded: it is reconstructed from the simulator configuration, and
+/// restores are gated by snapshot digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlpTrackerState {
+    /// One 64-bit bank bitmap per channel.
+    pub bits: Vec<u64>,
+    /// Total bank-bit set events.
+    pub set_events: u64,
+    /// Number of self-resets performed.
+    pub reset_events: u64,
+}
+
 impl BlpTracker {
     /// Creates a tracker for `channels` channels.
     ///
@@ -119,6 +134,30 @@ impl BlpTracker {
         self.reset_events = 0;
     }
 
+    /// Exports the tracker bitmaps and counters (snapshot support).
+    #[must_use]
+    pub fn export_state(&self) -> BlpTrackerState {
+        BlpTrackerState {
+            bits: self.bits.clone(),
+            set_events: self.set_events,
+            reset_events: self.reset_events,
+        }
+    }
+
+    /// Replaces the tracker bitmaps and counters with `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image was taken from a tracker with a different
+    /// channel count — restores are gated by snapshot digests, so a mismatch
+    /// is a programming error.
+    pub fn import_state(&mut self, state: &BlpTrackerState) {
+        assert_eq!(state.bits.len(), self.bits.len(), "BLP tracker channel count mismatch");
+        self.bits.copy_from_slice(&state.bits);
+        self.set_events = state.set_events;
+        self.reset_events = state.reset_events;
+    }
+
     fn subchannel_mask(&self, subchannel: usize) -> u64 {
         let width = self.banks_per_subchannel;
         let base = subchannel * width;
@@ -201,6 +240,35 @@ mod tests {
     #[should_panic(expected = "8 bytes")]
     fn rejects_oversized_channels() {
         let _ = BlpTracker::new(1, 128, 64);
+    }
+
+    #[test]
+    fn state_export_import_round_trips() {
+        let mut t = tracker();
+        for bank in [3, 7, 40, 41] {
+            t.record_writeback(0, bank);
+        }
+        let state = t.export_state();
+        let mut fresh = tracker();
+        fresh.import_state(&state);
+        assert_eq!(fresh, t);
+        assert_eq!(fresh.export_state(), state);
+        // The restored tracker must keep applying the self-reset rule.
+        for bank in 0..32 {
+            fresh.record_writeback(0, bank);
+            t.record_writeback(0, bank);
+        }
+        assert_eq!(fresh, t);
+        assert_eq!(fresh.reset_events(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel count mismatch")]
+    fn state_import_rejects_wrong_channel_count() {
+        let t = BlpTracker::new(2, 64, 32);
+        let state = t.export_state();
+        let mut other = tracker();
+        other.import_state(&state);
     }
 
     #[test]

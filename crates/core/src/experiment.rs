@@ -11,6 +11,7 @@ use bard_workloads::WorkloadId;
 use crate::config::SystemConfig;
 use crate::metrics::{geomean_speedup_percent, speedup_percent, RunResult};
 use crate::runner::{Job, Runner};
+use crate::snapshot::SnapshotStore;
 use crate::system::System;
 
 /// How long to warm up and measure, in instructions per core.
@@ -80,7 +81,27 @@ pub fn run_workloads_on(
     workloads: &[WorkloadId],
     length: RunLength,
 ) -> Vec<RunResult> {
-    runner.run_grid(Job::grid(std::slice::from_ref(config), workloads, length))
+    run_workloads_with(runner, config, workloads, length, None)
+}
+
+/// [`run_workloads_on`] with an optional warm-image store: when `snapshots`
+/// is set, each job restores its functional warm-up from (or captures it
+/// into) a shared BSS1 image instead of re-simulating it. The results are
+/// bitwise-identical either way.
+#[must_use]
+pub fn run_workloads_with(
+    runner: &Runner,
+    config: &SystemConfig,
+    workloads: &[WorkloadId],
+    length: RunLength,
+    snapshots: Option<&SnapshotStore>,
+) -> Vec<RunResult> {
+    runner.run_grid(Job::grid_with_snapshots(
+        std::slice::from_ref(config),
+        workloads,
+        length,
+        snapshots,
+    ))
 }
 
 /// The per-workload comparison of one test configuration against a baseline.
@@ -149,10 +170,28 @@ impl Comparison {
         workloads: &[WorkloadId],
         length: RunLength,
     ) -> Vec<Self> {
+        Self::run_many_with(runner, baseline_config, test_configs, workloads, length, None)
+    }
+
+    /// [`Comparison::run_many_on`] with an optional warm-image store: the
+    /// baseline and every test configuration of one workload share a
+    /// [`warm_digest`](crate::snapshot::warm_digest), so the whole column
+    /// forks one warmed image instead of re-running the functional warm-up
+    /// `1 + N` times. Results are bitwise-identical to a cold grid.
+    #[must_use]
+    pub fn run_many_with(
+        runner: &Runner,
+        baseline_config: &SystemConfig,
+        test_configs: &[SystemConfig],
+        workloads: &[WorkloadId],
+        length: RunLength,
+        snapshots: Option<&SnapshotStore>,
+    ) -> Vec<Self> {
         let mut configs = Vec::with_capacity(1 + test_configs.len());
         configs.push(baseline_config.clone());
         configs.extend_from_slice(test_configs);
-        let mut results = runner.run_grid(Job::grid(&configs, workloads, length));
+        let mut results =
+            runner.run_grid(Job::grid_with_snapshots(&configs, workloads, length, snapshots));
         let baseline: Vec<RunResult> = results.drain(..workloads.len()).collect();
         test_configs
             .iter()
@@ -272,6 +311,48 @@ mod tests {
             tiny(),
         );
         assert_eq!(serial.speedups_percent(), parallel.speedups_percent());
+    }
+
+    #[test]
+    fn snapshot_store_grid_matches_cold_grid() {
+        let dir = std::env::temp_dir().join(format!("bard-exp-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = SnapshotStore::new(&dir);
+        let base = SystemConfig::small_test();
+        let variants = [
+            base.clone().with_policy(WritePolicyKind::BardE),
+            base.clone().with_policy(WritePolicyKind::BardH),
+        ];
+        let workloads = [WorkloadId::Lbm];
+        let runner = Runner::serial();
+        let cold = Comparison::run_many_on(&runner, &base, &variants, &workloads, tiny());
+        // First warm pass captures the image, second reuses the published file;
+        // both must be bitwise-identical to the cold grid.
+        for _ in 0..2 {
+            let warm = Comparison::run_many_with(
+                &runner,
+                &base,
+                &variants,
+                &workloads,
+                tiny(),
+                Some(&store),
+            );
+            assert_eq!(cold.len(), warm.len());
+            for (c, w) in cold.iter().zip(&warm) {
+                assert_eq!(c.baseline[0].total_cycles, w.baseline[0].total_cycles);
+                assert_eq!(c.baseline[0].per_core_ipc, w.baseline[0].per_core_ipc);
+                assert_eq!(c.test[0].total_cycles, w.test[0].total_cycles);
+                assert_eq!(c.test[0].per_core_ipc, w.test[0].per_core_ipc);
+            }
+        }
+        // All three warm-compatible configs share one image file.
+        let images: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| name.ends_with(".bss"))
+            .collect();
+        assert_eq!(images.len(), 1, "expected one shared warm image, found {images:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -66,6 +66,7 @@ pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod runner;
+pub mod snapshot;
 pub mod system;
 
 pub use bard_cache::ProbeKind;
@@ -77,7 +78,8 @@ pub use metrics::{geomean, geomean_speedup_percent, speedup_percent, RunResult};
 pub use policy::{PolicyStats, WritePolicyKind};
 pub use report::{Artifact, Provenance, RunRecord};
 pub use runner::{Job, Runner};
-pub use system::System;
+pub use snapshot::{Snapshot, SnapshotError, SnapshotStore};
+pub use system::{RunOutcome, System};
 
 // Re-export the substrate crates so downstream users need a single dependency.
 pub use bard_cache as cache;

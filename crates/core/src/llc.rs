@@ -12,7 +12,9 @@ use bard_cache::{
 };
 use bard_dram::{AddressMapping, DramConfig};
 
-use crate::blp_tracker::BlpTracker;
+use bard_cache::CacheState;
+
+use crate::blp_tracker::{BlpTracker, BlpTrackerState};
 use crate::policy::{PolicyStats, WritePolicyKind};
 
 /// Upper bound on proactive cleanses per eviction for the Virtual Write Queue
@@ -23,6 +25,21 @@ const VWQ_MAX_CLEANSES: usize = 4;
 /// simulation time reasonable and is generous compared to the original
 /// design, which probed only neighbouring sets.
 const VWQ_SET_WINDOW: usize = 256;
+
+/// Plain-data image of a [`SlicedLlc`] (snapshot support).
+///
+/// Covers everything mutable: per-slice cache contents, the BLP-Tracker and
+/// the policy counters. Geometry, policy kind and the address mapping are
+/// reconstructed from the simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlcState {
+    /// One cache image per slice, in slice order.
+    pub slices: Vec<CacheState>,
+    /// BLP-Tracker bitmaps and counters.
+    pub tracker: BlpTrackerState,
+    /// Writeback-policy statistics.
+    pub stats: PolicyStats,
+}
 
 /// A shared, sliced, set-associative LLC with a bank-aware writeback policy.
 #[derive(Debug)]
@@ -131,6 +148,50 @@ impl SlicedLlc {
             s.reset_stats();
         }
         self.stats = PolicyStats::default();
+    }
+
+    /// Exports the full mutable LLC state (snapshot support).
+    #[must_use]
+    pub fn export_state(&self) -> LlcState {
+        LlcState {
+            slices: self.slices.iter().map(SetAssocCache::export_state).collect(),
+            tracker: self.tracker.export_state(),
+            stats: self.stats,
+        }
+    }
+
+    /// Replaces the LLC contents, tracker and counters with `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image was taken from an LLC with a different slice
+    /// count or slice geometry — restores are gated by snapshot digests, so a
+    /// mismatch is a programming error.
+    pub fn import_state(&mut self, state: &LlcState) {
+        assert_eq!(state.slices.len(), self.slice_count, "LLC slice count mismatch");
+        for (slice, image) in self.slices.iter_mut().zip(&state.slices) {
+            slice.import_state(image);
+        }
+        self.tracker.import_state(&state.tracker);
+        self.stats = state.stats;
+    }
+
+    /// Replaces only the per-slice cache contents, leaving the BLP-Tracker
+    /// and policy counters untouched (warm-image fork: the functional
+    /// warm-up never exercises the tracker or policy, so those stay at their
+    /// freshly-built values, which may have different geometry than the
+    /// system the image was captured under).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image was taken from an LLC with a different slice
+    /// count or slice geometry — restores are gated by snapshot digests, so a
+    /// mismatch is a programming error.
+    pub fn import_slices(&mut self, slices: &[CacheState]) {
+        assert_eq!(slices.len(), self.slice_count, "LLC slice count mismatch");
+        for (slice, image) in self.slices.iter_mut().zip(slices) {
+            slice.import_state(image);
+        }
     }
 
     /// True if `addr` is resident (no state update).
@@ -476,6 +537,54 @@ mod tests {
         for i in 0..lines as u64 {
             llc.functional_access(i * 64, true);
         }
+    }
+
+    #[test]
+    fn llc_state_round_trips_and_restores_lockstep_behaviour() {
+        let mut c = llc(WritePolicyKind::BardH);
+        warm_dirty(&mut c, 3000);
+        let mut wbs = Vec::new();
+        let mut oracle = no_oracle();
+        for i in 0..500u64 {
+            c.fill(0x8000_0000 + i * 64, (i % 7) as u16, i % 3 == 0, &mut wbs, &mut oracle);
+        }
+        let state = c.export_state();
+
+        let mut restored = llc(WritePolicyKind::BardH);
+        restored.import_state(&state);
+        assert_eq!(restored.export_state(), state);
+        assert_eq!(restored.policy_stats(), c.policy_stats());
+        assert_eq!(restored.dirty_lines(), c.dirty_lines());
+
+        // Both copies must now behave identically.
+        let mut wb_a = Vec::new();
+        let mut wb_b = Vec::new();
+        let mut oracle_a = no_oracle();
+        let mut oracle_b = no_oracle();
+        for i in 0..500u64 {
+            c.fill(0x9000_0000 + i * 64, (i % 5) as u16, false, &mut wb_a, &mut oracle_a);
+            restored.fill(0x9000_0000 + i * 64, (i % 5) as u16, false, &mut wb_b, &mut oracle_b);
+        }
+        assert_eq!(wb_a, wb_b);
+        assert_eq!(restored.policy_stats(), c.policy_stats());
+        assert_eq!(restored.export_state(), c.export_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "slice count mismatch")]
+    fn llc_state_rejects_wrong_slice_count() {
+        let c = llc(WritePolicyKind::Baseline);
+        let state = c.export_state();
+        let mut other = SlicedLlc::new(
+            64 * 1024,
+            4,
+            64,
+            8,
+            ReplacementKind::Lru,
+            WritePolicyKind::Baseline,
+            &dram(),
+        );
+        other.import_state(&state);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use bard_workloads::WorkloadId;
 use crate::config::SystemConfig;
 use crate::experiment::RunLength;
 use crate::metrics::RunResult;
+use crate::snapshot::SnapshotStore;
 use crate::system::System;
 
 /// One unit of grid work: a single workload simulated under a single
@@ -51,13 +52,25 @@ pub struct Job {
     pub workload: WorkloadId,
     /// Warm-up and measurement lengths.
     pub length: RunLength,
+    /// Warm-image store (`--snapshot-dir`): when set, the functional
+    /// warm-up is restored from (or captured into) a shared BSS1 image
+    /// instead of re-simulated per job. Results are bitwise-identical
+    /// either way; only wall clock changes.
+    pub snapshots: Option<SnapshotStore>,
 }
 
 impl Job {
     /// Creates one job.
     #[must_use]
     pub fn new(config: SystemConfig, workload: WorkloadId, length: RunLength) -> Self {
-        Self { config, workload, length }
+        Self { config, workload, length, snapshots: None }
+    }
+
+    /// Attaches a warm-image store to this job (see [`Job::snapshots`]).
+    #[must_use]
+    pub fn with_snapshots(mut self, snapshots: Option<&SnapshotStore>) -> Self {
+        self.snapshots = snapshots.cloned();
+        self
     }
 
     /// Builds the full `configs x workloads` grid in config-major order:
@@ -76,9 +89,39 @@ impl Job {
             .collect()
     }
 
+    /// [`Job::grid`] with a warm-image store attached to every job: the
+    /// grid's jobs that share a [`warm_digest`](crate::snapshot::warm_digest)
+    /// — every policy/DRAM variant of one workload — fork one warmed image
+    /// instead of each re-running the functional warm-up.
+    #[must_use]
+    pub fn grid_with_snapshots(
+        configs: &[SystemConfig],
+        workloads: &[WorkloadId],
+        length: RunLength,
+        snapshots: Option<&SnapshotStore>,
+    ) -> Vec<Self> {
+        Self::grid(configs, workloads, length)
+            .into_iter()
+            .map(|job| job.with_snapshots(snapshots))
+            .collect()
+    }
+
     /// Runs the simulation for this job.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a configured snapshot store holds a corrupt image or its
+    /// directory cannot be written.
     #[must_use]
     pub fn run(&self) -> RunResult {
+        if let Some(store) = &self.snapshots {
+            if self.length.functional_warmup > 0 {
+                let mut system = store
+                    .obtain_warm(&self.config, self.workload, self.length.functional_warmup)
+                    .unwrap_or_else(|e| panic!("snapshot store {}: {e}", store.dir().display()));
+                return system.run(0, self.length.timed_warmup, self.length.measure);
+            }
+        }
         let mut system = System::new(self.config.clone(), self.workload);
         system.run(self.length.functional_warmup, self.length.timed_warmup, self.length.measure)
     }

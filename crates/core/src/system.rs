@@ -31,13 +31,16 @@ use bard_cache::{
     CacheConfig, CacheStats, FusedProbe, IpStridePrefetcher, MshrFile, NextLinePrefetcher,
     Prefetcher, ProbeCounters, ProbeKind, SetAssocCache,
 };
-use bard_cpu::{Core, CoreRequest, CoreStats, MemKind, TraceSource};
+use bard_cpu::{Core, CoreRequest, CoreStats, MemKind, TraceRecord, TraceSource};
 use bard_dram::{CompletedRead, EnergyBreakdown, MemRequest, MemoryController, SubChannelStats};
 use bard_workloads::WorkloadId;
 
 use crate::config::{EngineKind, SystemConfig};
 use crate::llc::SlicedLlc;
 use crate::metrics::RunResult;
+use crate::snapshot::{
+    self, CoreImage, EventImage, ProgressImage, Snapshot, SnapshotError, SystemImage,
+};
 
 /// Maximum memory requests a core may hand to the hierarchy per cycle.
 const MAX_STAGED_PER_CYCLE: usize = 8;
@@ -118,12 +121,48 @@ impl WakeGate {
     }
 }
 
+/// A trace source that counts every record it hands out, so a snapshot can
+/// record the stream position and a restore can fast-forward a freshly-built
+/// generator to it. Workload generators and trace replays are deterministic
+/// functions of `(workload, core, seed)`, so "records consumed" fully
+/// determines the stream state.
+struct CountingTrace {
+    inner: Box<dyn TraceSource>,
+    consumed: u64,
+}
+
+impl CountingTrace {
+    fn new(inner: Box<dyn TraceSource>) -> Self {
+        Self { inner, consumed: 0 }
+    }
+
+    /// Advances a fresh stream to `records` consumed (snapshot restore).
+    fn fast_forward(&mut self, records: u64) {
+        debug_assert_eq!(self.consumed, 0, "fast-forward starts from a fresh stream");
+        for _ in 0..records {
+            let _ = self.inner.next_record();
+        }
+        self.consumed = records;
+    }
+}
+
+impl TraceSource for CountingTrace {
+    fn next_record(&mut self) -> TraceRecord {
+        self.consumed += 1;
+        self.inner.next_record()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
 struct CoreCtx {
     core: Core,
     /// Why the first rejected request of the core's last cycle was refused
     /// (the gate the sleeping core watches), and its line address.
     block: (BlockReason, u64),
-    trace: Box<dyn TraceSource>,
+    trace: CountingTrace,
     l1d: SetAssocCache,
     l2: SetAssocCache,
     l1_prefetcher: Option<IpStridePrefetcher>,
@@ -154,6 +193,43 @@ impl std::fmt::Debug for CoreCtx {
             .field("retired", &self.core.retired())
             .finish_non_exhaustive()
     }
+}
+
+/// Stage of a staged ([`System::run_to_pause`]) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunStage {
+    /// The short timed warm-up span before the statistics reset.
+    TimedWarmup,
+    /// The measured span.
+    Measure,
+}
+
+/// Progress of a staged run, persisted across pauses (and through
+/// snapshots) so a resume continues the exact span the pause interrupted —
+/// same retired-count baselines, same starvation-guard cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RunProgress {
+    stage: RunStage,
+    timed_warmup: u64,
+    measure: u64,
+    start_retired: Vec<u64>,
+    guard: u64,
+    measure_start_cycle: u64,
+}
+
+/// Outcome of a pausable run ([`System::run_to_pause`]).
+// A transient by-value return: the size gap between `Paused` and `Done`
+// never lives on the heap or in collections, so boxing buys nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The pause cycle was reached first. Capture a [`Snapshot`] and call
+    /// [`System::run_to_pause`] again — on this system or on a restored one
+    /// — to continue; the completed run is bitwise-identical to one that
+    /// never paused.
+    Paused,
+    /// The run finished within this call.
+    Done(RunResult),
 }
 
 /// The simulated system.
@@ -250,6 +326,9 @@ pub struct System {
     /// single-waiter routing this should track `perf_mshr_releases` closely
     /// instead of multiplying by the number of sleepers.
     perf_mshr_wakes: u64,
+    /// Driver progress of a staged run (see [`System::run_to_pause`]);
+    /// `None` outside one.
+    progress: Option<RunProgress>,
 }
 
 impl System {
@@ -269,7 +348,7 @@ impl System {
             .map(|(i, w)| CoreCtx {
                 core: Core::new(config.core),
                 block: (BlockReason::None, 0),
-                trace: build_trace(&config, *w, i),
+                trace: CountingTrace::new(build_trace(&config, *w, i)),
                 l1d: SetAssocCache::new(
                     CacheConfig::new(config.l1d_bytes, config.l1d_ways, config.line_bytes),
                     bard_cache::ReplacementKind::Lru,
@@ -342,6 +421,7 @@ impl System {
             scratch_staged: Vec::new(),
             scratch_retry: Vec::new(),
             shared_progress: 0,
+            progress: None,
         }
     }
 
@@ -397,6 +477,15 @@ impl System {
     /// bound ([`STARVATION_GUARD_CYCLES_PER_INSTRUCTION`] cycles per
     /// instruction), `false` otherwise.
     pub fn run_for_instructions(&mut self, instructions_per_core: u64) -> bool {
+        let (start_retired, guard) = self.begin_span(instructions_per_core);
+        self.run_span(instructions_per_core, &start_retired, guard, None)
+            .expect("an unpausable span always finishes")
+    }
+
+    /// Snapshots the per-core retired counts and computes the starvation
+    /// guard for a span of `instructions_per_core` instructions, clearing
+    /// stale finish cycles.
+    fn begin_span(&mut self, instructions_per_core: u64) -> (Vec<u64>, u64) {
         let start_retired: Vec<u64> = self.cores.iter().map(|c| c.core.retired()).collect();
         for ctx in &mut self.cores {
             ctx.finish_cycle = None;
@@ -406,6 +495,25 @@ impl System {
                 .saturating_mul(STARVATION_GUARD_CYCLES_PER_INSTRUCTION)
                 .max(10_000),
         );
+        (start_retired, guard)
+    }
+
+    /// The span driver shared by [`System::run_for_instructions`] and the
+    /// pausable [`System::run_to_pause`]: ticks until every core has retired
+    /// its quota relative to `start_retired` (returning `Some(true)`), the
+    /// guard cycle is reached (`Some(false)`), or — checked only after the
+    /// completion checks, so a pause never preempts a finishing cycle — the
+    /// simulated cycle reaches `pause_at` (`None`). A pause mutates nothing
+    /// beyond the ticks already run, so re-entering with the same arguments
+    /// (on this system or a snapshot-restored one) continues exactly where
+    /// a straight run would have been.
+    fn run_span(
+        &mut self,
+        instructions_per_core: u64,
+        start_retired: &[u64],
+        guard: u64,
+        pause_at: Option<u64>,
+    ) -> Option<bool> {
         let skip = self.config.engine == EngineKind::Skip;
         loop {
             if skip {
@@ -427,7 +535,7 @@ impl System {
             if all_done {
                 self.settle_cores();
                 self.settle_dram_stats();
-                return true;
+                return Some(true);
             }
             if now >= guard {
                 self.settle_cores();
@@ -435,7 +543,10 @@ impl System {
                 for ctx in &mut self.cores {
                     ctx.finish_cycle.get_or_insert(now);
                 }
-                return false;
+                return Some(false);
+            }
+            if pause_at.is_some_and(|p| now >= p) {
+                return None;
             }
         }
     }
@@ -460,16 +571,100 @@ impl System {
     /// statistics reset, then the measured run. Returns the collected
     /// [`RunResult`].
     pub fn run(&mut self, functional_warmup: u64, timed_warmup: u64, measure: u64) -> RunResult {
-        if functional_warmup > 0 {
-            self.functional_warmup(functional_warmup);
+        match self.run_to_pause(functional_warmup, timed_warmup, measure, None) {
+            RunOutcome::Done(result) => result,
+            RunOutcome::Paused => unreachable!("an unpausable run always finishes"),
         }
-        if timed_warmup > 0 {
-            self.run_for_instructions(timed_warmup);
+    }
+
+    /// The pausable variant of [`System::run`]: identical staging, but the
+    /// run returns [`RunOutcome::Paused`] once the simulated cycle reaches
+    /// `pause_at` (`None` never pauses). A paused system can be
+    /// [captured](System::capture), [restored](System::restore) and resumed
+    /// by calling this again with the same shape — the eventual
+    /// [`RunOutcome::Done`] result is bitwise-identical to an uninterrupted
+    /// run's (the `snapshot_parity` differential legs pin this).
+    ///
+    /// # Panics
+    ///
+    /// Panics when resuming a paused run with a different
+    /// `timed_warmup`/`measure` shape than it was started with.
+    pub fn run_to_pause(
+        &mut self,
+        functional_warmup: u64,
+        timed_warmup: u64,
+        measure: u64,
+        pause_at: Option<u64>,
+    ) -> RunOutcome {
+        if self.progress.is_none() {
+            if functional_warmup > 0 {
+                self.functional_warmup(functional_warmup);
+            }
+            if timed_warmup > 0 {
+                let (start_retired, guard) = self.begin_span(timed_warmup);
+                self.progress = Some(RunProgress {
+                    stage: RunStage::TimedWarmup,
+                    timed_warmup,
+                    measure,
+                    start_retired,
+                    guard,
+                    measure_start_cycle: 0,
+                });
+            } else {
+                self.enter_measure(timed_warmup, measure);
+            }
         }
+        {
+            let p = self.progress.as_ref().expect("progress was just installed");
+            assert_eq!(
+                (p.timed_warmup, p.measure),
+                (timed_warmup, measure),
+                "a resumed run must use the shape it was paused with"
+            );
+        }
+        loop {
+            let p = self.progress.clone().expect("a staged run has progress");
+            match p.stage {
+                RunStage::TimedWarmup => {
+                    if self.run_span(p.timed_warmup, &p.start_retired, p.guard, pause_at).is_none()
+                    {
+                        return RunOutcome::Paused;
+                    }
+                    self.enter_measure(timed_warmup, measure);
+                }
+                RunStage::Measure => {
+                    let Some(completed) =
+                        self.run_span(p.measure, &p.start_retired, p.guard, pause_at)
+                    else {
+                        return RunOutcome::Paused;
+                    };
+                    self.progress = None;
+                    return RunOutcome::Done(self.collect_results(
+                        measure,
+                        p.measure_start_cycle,
+                        completed,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Transitions a staged run into the measure stage, mirroring the
+    /// original driver exactly: record the measure start cycle, reset the
+    /// statistics, then snapshot the (freshly zeroed) retired counts and
+    /// arm the guard.
+    fn enter_measure(&mut self, timed_warmup: u64, measure: u64) {
         let measure_start_cycle = self.cycle;
         self.reset_stats();
-        let completed = self.run_for_instructions(measure);
-        self.collect_results(measure, measure_start_cycle, completed)
+        let (start_retired, guard) = self.begin_span(measure);
+        self.progress = Some(RunProgress {
+            stage: RunStage::Measure,
+            timed_warmup,
+            measure,
+            start_retired,
+            guard,
+            measure_start_cycle,
+        });
     }
 
     fn collect_results(
@@ -542,6 +737,294 @@ impl System {
             dram_subchannels: subchannels,
             energy,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    /// Captures the full simulation state as a restorable [`Snapshot`].
+    ///
+    /// Capturing settles the lazily-accounted statistics first — a
+    /// behaviourally neutral operation: a conservatively woken core re-runs
+    /// its recorded stall cycle verbatim and falls back asleep — so resuming
+    /// a restored image is bitwise-identical to never having stopped.
+    pub fn capture(&mut self) -> Snapshot {
+        let image = self.export_image();
+        Snapshot::new(
+            false,
+            snapshot::full_digest(&self.config, self.workload),
+            0,
+            snapshot::encode_image(&image),
+        )
+    }
+
+    /// Captures a **warm** image, to be taken right after a functional
+    /// warm-up of `functional_warmup` instructions per core. Warm images
+    /// fork: any configuration with the same
+    /// [`warm_digest`](snapshot::warm_digest) — same workload, seed,
+    /// warm-up length and cache geometry, but freely varying write policy,
+    /// DRAM parameters or buffer sizes — restores one via
+    /// [`System::restore_warm`].
+    pub fn capture_warm(&mut self, functional_warmup: u64) -> Snapshot {
+        let image = self.export_image();
+        Snapshot::new(
+            true,
+            snapshot::full_digest(&self.config, self.workload),
+            snapshot::warm_digest(&self.config, self.workload, functional_warmup),
+            snapshot::encode_image(&image),
+        )
+    }
+
+    /// Rebuilds a system from a full snapshot captured under a
+    /// configuration with the same [`full_digest`](snapshot::full_digest).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Incompatible`] when the digests disagree (the image
+    /// belongs to a semantically different run), or a decode error when the
+    /// payload is malformed.
+    pub fn restore(
+        config: SystemConfig,
+        workload: WorkloadId,
+        snap: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        let expected = snapshot::full_digest(&config, workload);
+        if snap.digest_full() != expected {
+            return Err(SnapshotError::Incompatible {
+                reason: format!(
+                    "full digest {:016x} does not match this configuration's {expected:016x}",
+                    snap.digest_full()
+                ),
+            });
+        }
+        let image = snapshot::decode_image(snap.payload())?;
+        let mut system = Self::new(config, workload);
+        system.import_image(&image)?;
+        Ok(system)
+    }
+
+    /// Rebuilds a **warm** system from a warm snapshot, importing only the
+    /// warm-relevant state (trace positions and cache contents). Running
+    /// `run(0, timed_warmup, measure)` afterwards is bitwise-identical to a
+    /// cold `run(functional_warmup, timed_warmup, measure)`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Incompatible`] when the image is not warm or the
+    /// warm digests disagree, or a decode error when the payload is
+    /// malformed.
+    pub fn restore_warm(
+        config: SystemConfig,
+        workload: WorkloadId,
+        functional_warmup: u64,
+        snap: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        if !snap.is_warm() {
+            return Err(SnapshotError::Incompatible {
+                reason: "not a warm image (captured mid-run, not post-warm-up)".into(),
+            });
+        }
+        let expected = snapshot::warm_digest(&config, workload, functional_warmup);
+        if snap.digest_warm() != expected {
+            return Err(SnapshotError::Incompatible {
+                reason: format!(
+                    "warm digest {:016x} does not match this configuration's {expected:016x}",
+                    snap.digest_warm()
+                ),
+            });
+        }
+        let image = snapshot::decode_image(snap.payload())?;
+        let mut system = Self::new(config, workload);
+        system.import_warm_image(&image)?;
+        Ok(system)
+    }
+
+    /// Exports the full semantic state as a plain-data image, settling the
+    /// lazily-accounted statistics first. Derived structures (wake masks,
+    /// presence filters, scheduler caches) are omitted: the restore rebuilds
+    /// them.
+    fn export_image(&mut self) -> SystemImage {
+        self.settle_cores();
+        self.settle_dram_stats();
+        let cores = self
+            .cores
+            .iter()
+            .map(|ctx| CoreImage {
+                core: ctx.core.export_state(),
+                consumed: ctx.trace.consumed,
+                l1d: ctx.l1d.export_state(),
+                l2: ctx.l2.export_state(),
+                l1_prefetcher: ctx.l1_prefetcher.as_ref().map(IpStridePrefetcher::export_state),
+                retry: ctx.retry.iter().copied().collect(),
+                finish_cycle: ctx.finish_cycle,
+                retired_at_measure_start: ctx.retired_at_measure_start,
+            })
+            .collect();
+        // Ring slots are walked in due-cycle order (delta from `cycle`),
+        // events within a slot in insertion order — the exact firing order.
+        let mut events = Vec::with_capacity(self.pending_events);
+        for delta in 0..=self.ring_mask {
+            let slot = ((self.cycle + delta) & self.ring_mask) as usize;
+            for event in &self.events[slot] {
+                let (store, core, token) = match *event {
+                    Event::CompleteLoad { core, token } => (false, core, token),
+                    Event::CompleteStore { core, token } => (true, core, token),
+                };
+                events.push(EventImage { delta, store, core: core as u64, token });
+            }
+        }
+        SystemImage {
+            cycle: self.cycle,
+            cores,
+            llc: self.llc.export_state(),
+            mcs: self.mcs.iter().map(MemoryController::export_state).collect(),
+            inflight: self.inflight.export_state(),
+            dram_pending: self.dram_pending.iter().copied().collect(),
+            writeback_pending: self.writeback_pending.iter().copied().collect(),
+            events,
+            perf_mshr_releases: self.perf_mshr_releases,
+            perf_mshr_wakes: self.perf_mshr_wakes,
+            progress: self.progress.as_ref().map(|p| ProgressImage {
+                stage: match p.stage {
+                    RunStage::TimedWarmup => 0,
+                    RunStage::Measure => 1,
+                },
+                timed_warmup: p.timed_warmup,
+                measure: p.measure,
+                start_retired: p.start_retired.clone(),
+                guard: p.guard,
+                measure_start_cycle: p.measure_start_cycle,
+            }),
+        }
+    }
+
+    /// Replaces this freshly-built system's state with `image`. The wake
+    /// bookkeeping resets to the fully-awake default — exactly where the
+    /// capture-time settle left the live system.
+    fn import_image(&mut self, image: &SystemImage) -> Result<(), SnapshotError> {
+        let incompatible =
+            |reason: String| -> SnapshotError { SnapshotError::Incompatible { reason } };
+        if image.cores.len() != self.cores.len() {
+            return Err(incompatible(format!(
+                "image has {} cores, this configuration has {}",
+                image.cores.len(),
+                self.cores.len()
+            )));
+        }
+        if image.mcs.len() != self.mcs.len() {
+            return Err(incompatible(format!(
+                "image has {} DRAM channels, this configuration has {}",
+                image.mcs.len(),
+                self.mcs.len()
+            )));
+        }
+        for ev in &image.events {
+            if ev.delta > self.ring_mask || ev.core >= self.cores.len() as u64 {
+                return Err(incompatible("scheduled event outside the ring or core range".into()));
+            }
+        }
+        if let Some(p) = &image.progress {
+            if p.start_retired.len() != self.cores.len() {
+                return Err(incompatible("progress core count mismatch".into()));
+            }
+        }
+        self.cycle = image.cycle;
+        for (ctx, ci) in self.cores.iter_mut().zip(&image.cores) {
+            ctx.core.import_state(&ci.core);
+            ctx.trace.fast_forward(ci.consumed);
+            ctx.l1d.import_state(&ci.l1d);
+            ctx.l2.import_state(&ci.l2);
+            match (&mut ctx.l1_prefetcher, &ci.l1_prefetcher) {
+                (Some(pf), Some(state)) => pf.import_state(state),
+                (None, None) => {}
+                _ => return Err(incompatible("L1 prefetcher presence mismatch".into())),
+            }
+            ctx.retry = ci.retry.iter().copied().collect();
+            ctx.finish_cycle = ci.finish_cycle;
+            ctx.retired_at_measure_start = ci.retired_at_measure_start;
+            ctx.block = (BlockReason::None, 0);
+            ctx.sleep_since = 0;
+            ctx.sleep_delta = CoreStats::default();
+        }
+        self.llc.import_state(&image.llc);
+        for (mc, state) in self.mcs.iter_mut().zip(&image.mcs) {
+            mc.import_state(state);
+        }
+        self.inflight.import_state(&image.inflight);
+        self.dram_pending = image.dram_pending.iter().copied().collect();
+        self.writeback_pending = image.writeback_pending.iter().copied().collect();
+        for slot in &mut self.events {
+            slot.clear();
+        }
+        for ev in &image.events {
+            let core = ev.core as usize;
+            let event = if ev.store {
+                Event::CompleteStore { core, token: ev.token }
+            } else {
+                Event::CompleteLoad { core, token: ev.token }
+            };
+            self.events[((image.cycle + ev.delta) & self.ring_mask) as usize].push(event);
+        }
+        self.pending_events = image.events.len();
+        self.event_seq = 0;
+        self.perf_mshr_releases = image.perf_mshr_releases;
+        self.perf_mshr_wakes = image.perf_mshr_wakes;
+        self.progress = image.progress.as_ref().map(|p| RunProgress {
+            stage: if p.stage == 0 { RunStage::TimedWarmup } else { RunStage::Measure },
+            timed_warmup: p.timed_warmup,
+            measure: p.measure,
+            start_retired: p.start_retired.clone(),
+            guard: p.guard,
+            measure_start_cycle: p.measure_start_cycle,
+        });
+        self.gates = vec![WakeGate::default(); self.cores.len()];
+        self.awake_mask =
+            if self.cores.len() == 64 { u64::MAX } else { (1u64 << self.cores.len()) - 1 };
+        self.event_wake_mask = 0;
+        self.shared_watch_mask = 0;
+        self.release_snapshot = 0;
+        self.shared_progress = 0;
+        self.mshr_wait_mask = 0;
+        self.mshr_line_watch_mask = 0;
+        self.mshr_released = false;
+        self.forced_visit = 0;
+        Ok(())
+    }
+
+    /// Imports only the warm-relevant subset of `image`: trace positions
+    /// and cache contents. Everything else — timing, queues, the
+    /// BLP-Tracker, statistics — is provably at its freshly-built value
+    /// right after a functional warm-up (which is timing-free and
+    /// policy-free), so this system's fresh values are kept; they may
+    /// legitimately differ in geometry from the capture system's (e.g. a
+    /// different DRAM channel count).
+    fn import_warm_image(&mut self, image: &SystemImage) -> Result<(), SnapshotError> {
+        if image.cores.len() != self.cores.len() {
+            return Err(SnapshotError::Incompatible {
+                reason: format!(
+                    "warm image has {} cores, this configuration has {}",
+                    image.cores.len(),
+                    self.cores.len()
+                ),
+            });
+        }
+        if image.llc.slices.len() != self.llc.slice_count() {
+            return Err(SnapshotError::Incompatible {
+                reason: format!(
+                    "warm image has {} LLC slices, this configuration has {}",
+                    image.llc.slices.len(),
+                    self.llc.slice_count()
+                ),
+            });
+        }
+        for (ctx, ci) in self.cores.iter_mut().zip(&image.cores) {
+            ctx.trace.fast_forward(ci.consumed);
+            ctx.l1d.import_state(&ci.l1d);
+            ctx.l2.import_state(&ci.l2);
+        }
+        self.llc.import_slices(&image.llc.slices);
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -837,7 +1320,7 @@ impl System {
             let ctx = &mut self.cores[ci];
             let before = (ctx.core.dispatched(), ctx.core.retired(), ctx.retry.len());
             let can_accept = ctx.retry.is_empty();
-            ctx.core.cycle(&mut *ctx.trace, &mut |req| {
+            ctx.core.cycle(&mut ctx.trace, &mut |req| {
                 if can_accept && staged.len() < MAX_STAGED_PER_CYCLE {
                     staged.push(req);
                     true
@@ -1563,6 +2046,67 @@ mod tests {
             STARVATION_GUARD_CYCLES_PER_INSTRUCTION, 250,
             "re-bless the repro goldens and update docs/RESULTS.md before changing the guard"
         );
+    }
+
+    /// Pause → capture → serialise → parse → restore → resume must be
+    /// bitwise-identical to the uninterrupted run, including the final
+    /// cycle and the exact statistics.
+    #[test]
+    fn snapshot_restore_resumes_bitwise_identically() {
+        let cfg = SystemConfig::small_test().with_policy(WritePolicyKind::BardH);
+        let workload = WorkloadId::Mix0;
+        let (fw, tw, measure) = (150_000, 2_000, 10_000);
+
+        let mut straight = System::new(cfg.clone(), workload);
+        let expected = straight.run(fw, tw, measure);
+        let expected_cycle = straight.cycle();
+
+        let mut paused = System::new(cfg.clone(), workload);
+        let pause_at = expected_cycle / 2;
+        let outcome = paused.run_to_pause(fw, tw, measure, Some(pause_at));
+        assert_eq!(outcome, RunOutcome::Paused, "the run must actually pause mid-way");
+        let bytes = paused.capture().to_bytes();
+        let snap = Snapshot::from_bytes(&bytes).expect("the image must parse");
+        let mut restored = System::restore(cfg, workload, &snap).expect("the image must restore");
+        assert_eq!(restored.cycle(), paused.cycle());
+        match restored.run_to_pause(fw, tw, measure, None) {
+            RunOutcome::Done(result) => {
+                assert_eq!(result, expected, "resumed results must match the straight run");
+            }
+            RunOutcome::Paused => panic!("an unpausable resume must finish"),
+        }
+        assert_eq!(restored.cycle(), expected_cycle, "final cycle must match");
+    }
+
+    /// One warm image forked into a *different* configuration (another
+    /// write policy) must reproduce that configuration's cold-run results
+    /// exactly.
+    #[test]
+    fn warm_fork_reproduces_cold_results_across_policies() {
+        let workload = WorkloadId::Lbm;
+        let (fw, tw, measure) = (150_000, 2_000, 10_000);
+        let base = SystemConfig::small_test();
+        let mut warmed = System::new(base.clone(), workload);
+        warmed.functional_warmup(fw);
+        let snap = warmed.capture_warm(fw);
+        assert!(snap.is_warm());
+
+        for policy in [WritePolicyKind::Baseline, WritePolicyKind::BardH] {
+            let cfg = base.clone().with_policy(policy);
+            let mut cold = System::new(cfg.clone(), workload);
+            let expected = cold.run(fw, tw, measure);
+            let mut forked = System::restore_warm(cfg, workload, fw, &snap)
+                .expect("the warm image must fork into this policy");
+            let got = forked.run(0, tw, measure);
+            assert_eq!(got, expected, "{policy:?}: warm fork diverged from the cold run");
+        }
+
+        // A different seed is warm-incompatible and must be refused.
+        let other = base.with_seed(7);
+        assert!(matches!(
+            System::restore_warm(other, workload, fw, &snap),
+            Err(SnapshotError::Incompatible { .. })
+        ));
     }
 
     #[test]

@@ -154,6 +154,28 @@ pub struct Core {
     stats: CoreStats,
 }
 
+/// Plain-data image of a core's microarchitectural state, produced by
+/// [`Core::export_state`] and consumed by [`Core::import_state`] (snapshot
+/// support). Every field the model mutates is here; the configuration is
+/// not (it is re-derived from the restore-time [`CoreConfig`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreState {
+    /// Sequence number of the oldest in-flight instruction.
+    pub head_seq: u64,
+    /// Next sequence number to assign.
+    pub next_seq: u64,
+    /// Sequence numbers of loads still waiting for data, oldest first.
+    pub pending_loads: Vec<u64>,
+    /// Outstanding stores issued to memory.
+    pub store_buffer_used: u64,
+    /// Non-memory instructions still to dispatch from the current record.
+    pub pending_bubble: u32,
+    /// A memory instruction that could not be issued last cycle.
+    pub deferred: Option<TraceRecord>,
+    /// Statistics counters.
+    pub stats: CoreStats,
+}
+
 impl Core {
     /// Creates a core.
     #[must_use]
@@ -216,6 +238,33 @@ impl Core {
     /// keeping all microarchitectural state.
     pub fn reset_stats(&mut self) {
         self.stats = CoreStats::default();
+    }
+
+    /// Exports the full mutable state of the core (snapshot support).
+    #[must_use]
+    pub fn export_state(&self) -> CoreState {
+        CoreState {
+            head_seq: self.head_seq,
+            next_seq: self.next_seq,
+            pending_loads: self.pending_loads.iter().copied().collect(),
+            store_buffer_used: self.store_buffer_used as u64,
+            pending_bubble: self.pending_bubble,
+            deferred: self.deferred,
+            stats: self.stats,
+        }
+    }
+
+    /// Replaces the core's mutable state with `state` (snapshot support).
+    /// The configuration is unchanged; callers guarantee it matches the one
+    /// the state was captured under.
+    pub fn import_state(&mut self, state: &CoreState) {
+        self.head_seq = state.head_seq;
+        self.next_seq = state.next_seq;
+        self.pending_loads = state.pending_loads.iter().copied().collect();
+        self.store_buffer_used = state.store_buffer_used as usize;
+        self.pending_bubble = state.pending_bubble;
+        self.deferred = state.deferred;
+        self.stats = state.stats;
     }
 
     /// Simulates one cycle: retire, then dispatch.

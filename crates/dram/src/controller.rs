@@ -6,7 +6,14 @@ use crate::config::DramConfig;
 use crate::power::{EnergyBreakdown, PowerModel};
 use crate::request::{CompletedRead, EnqueueError, MemRequest};
 use crate::stats::{ChannelStats, SubChannelStats};
-use crate::subchannel::SubChannel;
+use crate::subchannel::{SubChannel, SubChannelState};
+
+/// Plain-data image of a whole channel controller (snapshot support).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControllerState {
+    /// One image per sub-channel, in index order.
+    pub subchannels: Vec<SubChannelState>,
+}
 
 /// Memory controller for a single DDR5 channel (two sub-channels).
 #[derive(Debug, Clone)]
@@ -102,6 +109,35 @@ impl MemoryController {
             sub.enqueue_write(req, now)
         } else {
             sub.enqueue_read(req, now)
+        }
+    }
+
+    /// Exports every sub-channel's semantic state (snapshot support).
+    /// Callers must [`MemoryController::settle_stats`] to the capture cycle
+    /// first so the exported statistics are exact.
+    #[must_use]
+    pub fn export_state(&self) -> ControllerState {
+        ControllerState {
+            subchannels: self.subchannels.iter().map(SubChannel::export_state).collect(),
+        }
+    }
+
+    /// Replaces every sub-channel's state with the images in `state`,
+    /// re-deriving decoded addresses from this controller's mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the image does not match this controller's sub-channel
+    /// count or geometry (restores are gated by snapshot digests).
+    pub fn import_state(&mut self, state: &ControllerState) {
+        assert_eq!(
+            state.subchannels.len(),
+            self.subchannels.len(),
+            "controller sub-channel count mismatch"
+        );
+        let mapping = self.mapping.clone();
+        for (sub, image) in self.subchannels.iter_mut().zip(&state.subchannels) {
+            sub.import_state(image, &mapping);
         }
     }
 

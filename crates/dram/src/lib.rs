@@ -54,10 +54,11 @@ pub mod subchannel;
 pub mod timing;
 
 pub use address::{AddressMapping, DecodedAddr, MappingScheme};
+pub use bank::BankState;
 pub use config::{DeviceWidth, DramConfig, PagePolicy, SchedulerKind};
-pub use controller::MemoryController;
+pub use controller::{ControllerState, MemoryController};
 pub use power::{EnergyBreakdown, PowerModel};
 pub use request::{CompletedRead, EnqueueError, MemRequest, RequestId, RequestKind};
 pub use stats::{ChannelStats, DrainEpisodeStats, SubChannelStats};
-pub use subchannel::SubChannel;
+pub use subchannel::{QueuedRequestState, SubChannel, SubChannelState};
 pub use timing::{TimingParams, CPU_FREQ_MHZ, DRAM_FREQ_MHZ};

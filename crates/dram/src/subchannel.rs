@@ -26,9 +26,10 @@
 
 use std::collections::VecDeque;
 
+use crate::address::AddressMapping;
 use crate::bank::BankState;
 use crate::config::{DramConfig, PagePolicy, SchedulerKind};
-use crate::request::{CompletedRead, EnqueueError, MemRequest};
+use crate::request::{CompletedRead, EnqueueError, MemRequest, RequestKind};
 use crate::stats::{DrainEpisodeStats, SubChannelStats};
 use crate::timing::TimingParams;
 
@@ -137,6 +138,82 @@ impl BankIndex {
             self.dirty = true;
         }
     }
+}
+
+/// Plain-data image of one queued request (snapshot support). The decoded
+/// DRAM coordinates are *not* stored — they are a pure function of the
+/// address and are re-derived from the controller's mapping on import.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedRequestState {
+    /// Requester-assigned identifier.
+    pub id: u64,
+    /// True for a write-back, false for a read.
+    pub write: bool,
+    /// Physical address of the line.
+    pub addr: u64,
+    /// Core that generated the request.
+    pub core: u64,
+    /// Cycle the request entered the queue.
+    pub enqueue_cycle: u64,
+    /// Row-buffer outcome classification: 0 = unclassified, 1 = hit,
+    /// 2 = miss, 3 = conflict.
+    pub outcome: u8,
+    /// FR-FCFS arrival stamp.
+    pub order: u64,
+}
+
+/// Plain-data image of a sub-channel (snapshot support). Holds only the
+/// *semantic* state: the per-bank scheduler indexes, bank masks, the cached
+/// earliest-ready stamp and the wake horizon are all derived structures and
+/// are rebuilt on import (`wake_at` restores to 0, which forces one full —
+/// and by construction identically-failing — scheduling pass on the next
+/// tick, so restored runs stay bitwise-identical to straightline runs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubChannelState {
+    /// Queued reads, oldest first.
+    pub reads: Vec<QueuedRequestState>,
+    /// Queued write-backs, oldest first.
+    pub writes: Vec<QueuedRequestState>,
+    /// Next FR-FCFS arrival stamp.
+    pub next_order: u64,
+    /// Per-bank row and timing state.
+    pub banks: Vec<BankState>,
+    /// Per-bank-group earliest read-CAS cycles.
+    pub bg_rd_ok: Vec<u64>,
+    /// Per-bank-group earliest write-CAS cycles.
+    pub bg_wr_ok: Vec<u64>,
+    /// Per-bank-group earliest ACT cycles.
+    pub bg_act_ok: Vec<u64>,
+    /// Sub-channel earliest read-CAS cycle.
+    pub sub_rd_ok: u64,
+    /// Sub-channel earliest write-CAS cycle.
+    pub sub_wr_ok: u64,
+    /// Sub-channel earliest ACT cycle.
+    pub sub_act_ok: u64,
+    /// ACT issue cycles inside the rolling four-activate window.
+    pub faw_window: Vec<u64>,
+    /// True when the bus is in write-drain mode.
+    pub write_drain: bool,
+    /// Banks written during the in-progress drain episode (bitmap).
+    pub episode_banks: u64,
+    /// Writes issued during the in-progress drain episode.
+    pub episode_writes: u64,
+    /// Cycle the in-progress drain episode started.
+    pub episode_start: u64,
+    /// Sum of write-to-write gaps in the in-progress episode.
+    pub episode_gap_sum: u64,
+    /// Number of write-to-write gaps in the in-progress episode.
+    pub episode_gaps: u64,
+    /// Cycle of the episode's most recent write issue.
+    pub last_write_issue: Option<u64>,
+    /// Absolute cycle of the next refresh.
+    pub next_refresh_at: u64,
+    /// Completed reads not yet drained by the requester.
+    pub completed: Vec<CompletedRead>,
+    /// Accumulated statistics (settled through `settled_to`).
+    pub stats: SubChannelStats,
+    /// Cycle (exclusive) through which per-cycle statistics are settled.
+    pub settled_to: u64,
 }
 
 /// One DDR5 sub-channel with its queues, banks and scheduler.
@@ -464,6 +541,141 @@ impl SubChannel {
     #[must_use]
     pub fn settle_events(&self) -> u64 {
         self.settle_events
+    }
+
+    /// Exports the sub-channel's semantic state (snapshot support). Callers
+    /// must [`SubChannel::settle_stats`] to the capture cycle first so the
+    /// exported statistics are exact.
+    #[must_use]
+    pub fn export_state(&self) -> SubChannelState {
+        let snap = |q: &VecDeque<QueuedRequest>| -> Vec<QueuedRequestState> {
+            q.iter()
+                .map(|e| QueuedRequestState {
+                    id: e.req.id,
+                    write: e.req.is_write(),
+                    addr: e.req.addr,
+                    core: e.req.core as u64,
+                    enqueue_cycle: e.req.enqueue_cycle,
+                    outcome: match e.outcome {
+                        None => 0,
+                        Some(RowOutcome::Hit) => 1,
+                        Some(RowOutcome::Miss) => 2,
+                        Some(RowOutcome::Conflict) => 3,
+                    },
+                    order: e.order,
+                })
+                .collect()
+        };
+        SubChannelState {
+            reads: snap(&self.read_q),
+            writes: snap(&self.write_q),
+            next_order: self.next_order,
+            banks: self.banks.clone(),
+            bg_rd_ok: self.bg_rd_ok.clone(),
+            bg_wr_ok: self.bg_wr_ok.clone(),
+            bg_act_ok: self.bg_act_ok.clone(),
+            sub_rd_ok: self.sub_rd_ok,
+            sub_wr_ok: self.sub_wr_ok,
+            sub_act_ok: self.sub_act_ok,
+            faw_window: self.faw_window.iter().copied().collect(),
+            write_drain: self.mode == BusMode::WriteDrain,
+            episode_banks: self.episode_banks,
+            episode_writes: self.episode_writes,
+            episode_start: self.episode_start,
+            episode_gap_sum: self.episode_gap_sum,
+            episode_gaps: self.episode_gaps,
+            last_write_issue: self.last_write_issue,
+            next_refresh_at: self.next_refresh_at,
+            completed: self.completed.clone(),
+            stats: self.stats.clone(),
+            settled_to: self.settled_to,
+        }
+    }
+
+    /// Replaces the sub-channel's state with `state` (snapshot support),
+    /// re-deriving every derived structure: decoded addresses via `mapping`,
+    /// the per-bank scheduler indexes and masks from the rebuilt queues, the
+    /// earliest-ready cache from the completed-read buffer, and a zero wake
+    /// horizon (recompute on the next tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `state` was exported from a sub-channel of a different
+    /// geometry — restores are gated by snapshot digests, so a mismatch is
+    /// a programming error.
+    pub fn import_state(&mut self, state: &SubChannelState, mapping: &AddressMapping) {
+        assert_eq!(state.banks.len(), self.banks.len(), "sub-channel bank count mismatch");
+        assert_eq!(state.bg_rd_ok.len(), self.bg_rd_ok.len(), "sub-channel bank-group mismatch");
+        assert!(state.reads.len() <= self.read_capacity, "read queue image over capacity");
+        assert!(state.writes.len() <= self.write_capacity, "write queue image over capacity");
+
+        let rebuild = |entries: &[QueuedRequestState]| -> VecDeque<QueuedRequest> {
+            entries
+                .iter()
+                .map(|e| {
+                    let kind = if e.write { RequestKind::Write } else { RequestKind::Read };
+                    let mut req = MemRequest::new(e.id, kind, e.addr, e.core as usize);
+                    req.enqueue_cycle = e.enqueue_cycle;
+                    req.decoded = mapping.decode(e.addr);
+                    let outcome = match e.outcome {
+                        0 => None,
+                        1 => Some(RowOutcome::Hit),
+                        2 => Some(RowOutcome::Miss),
+                        3 => Some(RowOutcome::Conflict),
+                        other => panic!("invalid row-outcome code {other}"),
+                    };
+                    QueuedRequest { req, outcome, order: e.order }
+                })
+                .collect()
+        };
+        self.read_q = rebuild(&state.reads);
+        self.write_q = rebuild(&state.writes);
+        self.next_order = state.next_order;
+        self.banks.clone_from(&state.banks);
+        self.bg_rd_ok.clone_from(&state.bg_rd_ok);
+        self.bg_wr_ok.clone_from(&state.bg_wr_ok);
+        self.bg_act_ok.clone_from(&state.bg_act_ok);
+        self.sub_rd_ok = state.sub_rd_ok;
+        self.sub_wr_ok = state.sub_wr_ok;
+        self.sub_act_ok = state.sub_act_ok;
+        self.faw_window = state.faw_window.iter().copied().collect();
+        self.mode = if state.write_drain { BusMode::WriteDrain } else { BusMode::Read };
+        self.episode_banks = state.episode_banks;
+        self.episode_writes = state.episode_writes;
+        self.episode_start = state.episode_start;
+        self.episode_gap_sum = state.episode_gap_sum;
+        self.episode_gaps = state.episode_gaps;
+        self.last_write_issue = state.last_write_issue;
+        self.next_refresh_at = state.next_refresh_at;
+        self.completed.clone_from(&state.completed);
+        self.stats = state.stats.clone();
+        self.settled_to = state.settled_to;
+
+        // Derived structures.
+        self.earliest_ready =
+            self.completed.iter().map(|c| c.ready_cycle).min().unwrap_or(u64::MAX);
+        let banks = self.banks.len();
+        self.read_ix = vec![BankIndex::default(); banks];
+        self.write_ix = vec![BankIndex::default(); banks];
+        self.read_mask = 0;
+        self.write_mask = 0;
+        if self.scheduler == SchedulerKind::Incremental {
+            for q in &self.read_q {
+                let bank = q.req.decoded.bank_in_subchannel(self.banks_per_group);
+                let ix = &mut self.read_ix[bank];
+                ix.entries.push_back((q.order, q.req.decoded.row, q.req.id));
+                ix.dirty = true;
+                self.read_mask |= 1u64 << bank;
+            }
+            for q in &self.write_q {
+                let bank = q.req.decoded.bank_in_subchannel(self.banks_per_group);
+                let ix = &mut self.write_ix[bank];
+                ix.entries.push_back((q.order, q.req.decoded.row, q.req.id));
+                ix.dirty = true;
+                self.write_mask |= 1u64 << bank;
+            }
+        }
+        self.wake_at = 0;
     }
 
     /// Advances the sub-channel by one CPU cycle. Returns `true` if any
@@ -1555,6 +1767,65 @@ mod tests {
             lazy.settle_events() < eager.settle_events(),
             "the lazy instance must settle in strictly fewer spans"
         );
+    }
+
+    /// A sub-channel restored from an exported state must continue bitwise
+    /// in lockstep with the original: identical stats, queue contents and
+    /// completions from the restore point onward, including mid-drain and
+    /// with refresh enabled.
+    #[test]
+    fn exported_state_restores_into_a_lockstep_copy() {
+        for scheduler in [SchedulerKind::Scan, SchedulerKind::Incremental] {
+            let mut cfg = DramConfig::ddr5_4800_x4();
+            cfg.refresh_enabled = true;
+            cfg.scheduler = scheduler;
+            let mapping = AddressMapping::new(&cfg);
+            let mut original = SubChannel::new(&cfg);
+            let addrs = addrs_where(&mapping, cfg.write_high_watermark + 8, |_| true);
+            for (i, a) in addrs.iter().enumerate() {
+                if i < cfg.write_high_watermark {
+                    original
+                        .enqueue_write(make_req(&mapping, i as u64, RequestKind::Write, *a), 0)
+                        .unwrap();
+                } else {
+                    original
+                        .enqueue_read(make_req(&mapping, i as u64, RequestKind::Read, *a), 0)
+                        .unwrap();
+                }
+            }
+            // Advance into the middle of the drain so the episode trackers
+            // and timing state are non-trivial, then capture.
+            let checkpoint = 3_000u64;
+            let mut done_a = Vec::new();
+            for cycle in 0..checkpoint {
+                original.tick(cycle);
+                original.drain_completed(cycle, &mut done_a);
+            }
+            original.settle_stats(checkpoint);
+            let state = original.export_state();
+
+            let mut restored = SubChannel::new(&cfg);
+            restored.import_state(&state, &mapping);
+            assert_eq!(restored.export_state(), state, "export/import must round-trip");
+
+            let mut done_b = done_a.clone();
+            for cycle in checkpoint..checkpoint + 20_000 {
+                original.tick(cycle);
+                restored.tick(cycle);
+                original.drain_completed(cycle, &mut done_a);
+                restored.drain_completed(cycle, &mut done_b);
+            }
+            original.settle_stats(checkpoint + 20_000);
+            restored.settle_stats(checkpoint + 20_000);
+            assert_eq!(done_a, done_b, "completions must match ({scheduler:?})");
+            assert_eq!(original.stats(), restored.stats(), "stats must match ({scheduler:?})");
+            assert_eq!(
+                original.export_state(),
+                restored.export_state(),
+                "final state must match ({scheduler:?})"
+            );
+            assert!(original.stats().writes > 0, "the span under test must drain writes");
+        }
     }
 
     #[test]

@@ -104,26 +104,40 @@ impl TraceHeader {
 
 /// Incremental FNV-1a 64-bit hash of the checksummed bytes (header
 /// identity fields + encoded records).
+///
+/// Public because every BTF-style container in the workspace (traces here,
+/// snapshot images in `bard`) shares this one checksum implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Fnv64(u64);
+pub struct Fnv64(u64);
 
 impl Fnv64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    pub(crate) fn new() -> Self {
+    /// A hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
         Self(Self::OFFSET)
     }
 
-    pub(crate) fn update(&mut self, bytes: &[u8]) {
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    pub(crate) fn finish(self) -> u64 {
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(self) -> u64 {
         self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -58,7 +58,7 @@ pub mod store;
 pub mod writer;
 
 pub use error::TraceError;
-pub use format::{TraceHeader, MAGIC, VERSION};
+pub use format::{Fnv64, TraceHeader, MAGIC, VERSION};
 pub use import::{parse_text, render_text};
 pub use reader::{verify_file, TraceReader};
 pub use recording::RecordingSource;

@@ -6,6 +6,18 @@
 //! regime as the paper's Table IV characterisation (MPKI / WPKI ordering,
 //! write intensity, streaming vs. irregular structure); they are not intended
 //! to match the original traces instruction-for-instruction.
+//!
+//! **Determinism contract.** For a fixed `(workload, core, seed)` triple,
+//! [`WorkloadId::build`] must yield the *identical* record sequence on
+//! every call, forever: the BTF trace archive replays against it
+//! (`crates/trace/tests/workload_golden.rs` pins the golden prefixes), and
+//! the warm-state snapshot subsystem (`bard::snapshot`) depends on it even
+//! more directly — a restored system re-creates the generator and
+//! fast-forwards by the consumed-record count, so a generator whose output
+//! drifted between versions would silently resume a *different* simulation.
+//! Changing a generator's output is a format break: it invalidates recorded
+//! traces and archived snapshot images alike, and must re-bless the golden
+//! files deliberately (`BARD_BLESS=1`).
 
 use bard_cpu::TraceSource;
 

@@ -28,6 +28,17 @@
 //!   stops winning, snapshot restore has become more expensive than the
 //!   simulation it replaces.
 //!
+//! A fifth check gates the telemetry subsystem's disabled path:
+//!
+//! * **telemetry-off overhead**: telemetry is forced off for every gated
+//!   measurement above, so the skip-engine **floor** check doubles as the
+//!   disabled-path regression gate — if the telemetry hooks cost anything
+//!   measurable when `BARD_TELEMETRY` is unset, absolute throughput drops
+//!   below `floor_fraction` of the recorded reference and CI fails. The
+//!   enabled path is then measured once more for information only, printing
+//!   the on/off throughput ratio and the per-phase host-time attribution
+//!   (dispatch, probe, DRAM scheduling, completion drain, stat settlement).
+//!
 //! Run manually with `cargo run --release --bin perf_smoke`.
 
 use std::time::Instant;
@@ -120,7 +131,36 @@ fn warm_fork_gate_failed() -> bool {
     false
 }
 
+/// Measures the telemetry-enabled path for information: prints the on/off
+/// throughput ratio and how host time splits across the model phases.
+/// Leaves telemetry disabled on return.
+fn report_telemetry_overhead(length: RunLength, skip_off: f64) {
+    bard_bench::telemetry::set_enabled(true);
+    bard_bench::telemetry::reset_metrics();
+    let skip_on = cycles_per_sec(EngineKind::Skip, ProbeKind::Fused, length);
+    let phases = bard_bench::telemetry::phase_nanos();
+    bard_bench::telemetry::set_enabled(false);
+    let total: u64 = phases.iter().map(|(_, nanos)| nanos).sum();
+    let split = phases
+        .iter()
+        .map(|(phase, nanos)| {
+            format!("{}={:.0}%", phase.name(), *nanos as f64 / total.max(1) as f64 * 100.0)
+        })
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!(
+        "perf_smoke: telemetry on={skip_on:.3e} off={skip_off:.3e} cycles/s \
+         (on/off {:.2}x) phases: {split}",
+        skip_on / skip_off,
+    );
+}
+
 fn main() {
+    // Force the disabled path for every gated measurement below — the floor
+    // check then doubles as the telemetry-off overhead gate: any cost left
+    // on the disabled path shows up as lost absolute throughput.
+    bard_bench::telemetry::set_enabled(false);
+    bard_bench::telemetry::set_perf_line_enabled(false);
     let baseline_path = concat!(env!("CARGO_MANIFEST_DIR"), "/benches/BENCH_sim_engine.json");
     let json = load_baseline(baseline_path);
     let recorded_speedup = get_num(&json, baseline_path, &["perf_smoke", "skip_over_step"]);
@@ -175,6 +215,7 @@ fn main() {
     if warm_fork_gate_failed() {
         failed = true;
     }
+    report_telemetry_overhead(length, skip);
     if failed {
         std::process::exit(1);
     }

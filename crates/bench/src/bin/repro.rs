@@ -107,13 +107,18 @@ fn print_usage() {
     println!(
         "usage: repro [--list] [--only=id1,id2] [--test|--quick|--standard] \
          [--singles|--mixes] [--workloads=a,b,c] [--cores=N] [--seed=N] \
-         [--trace-dir=DIR] [--snapshot-dir=DIR] [--jobs=N] [--out=DIR]\n\
+         [--trace-dir=DIR] [--snapshot-dir=DIR] [--jobs=N] [--progress] \
+         [--out=DIR]\n\
          \n\
          Runs every registered figure/table experiment (see --list), writes one\n\
          JSON and one CSV artifact per experiment plus summary.json into --out,\n\
-         and exits non-zero if any experiment panics. docs/RESULTS.md documents\n\
-         the artifact schema; docs/TRACES.md the --trace-dir record/replay\n\
-         archive; docs/ARCHITECTURE.md the --snapshot-dir warm-image store\n\
-         (config variants fork one warmed image instead of re-warming)."
+         and exits non-zero if any experiment panics. --progress streams\n\
+         per-grid [bard-progress] percent/ETA lines to stderr; with\n\
+         BARD_TELEMETRY=1 and --out, metrics.json/metrics.csv and the Chrome\n\
+         trace-event trace_events.json land next to summary.json.\n\
+         docs/RESULTS.md documents the artifact schema; docs/TRACES.md the\n\
+         --trace-dir record/replay archive; docs/ARCHITECTURE.md the\n\
+         --snapshot-dir warm-image store (config variants fork one warmed\n\
+         image instead of re-warming)."
     );
 }

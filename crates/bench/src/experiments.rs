@@ -245,6 +245,10 @@ pub fn run_main(id: &str) {
     if let Some(dir) = &cli.out {
         write_artifact_files(dir, &artifact)
             .unwrap_or_else(|e| panic!("cannot write artifacts to {}: {e}", dir.display()));
+        if bard::telemetry::enabled() {
+            bard::telemetry::write_files(dir)
+                .unwrap_or_else(|e| panic!("cannot write telemetry to {}: {e}", dir.display()));
+        }
     }
 }
 

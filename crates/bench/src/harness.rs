@@ -19,6 +19,8 @@
 //!   results are bitwise-identical either way (see `docs/ARCHITECTURE.md`),
 //! * `--jobs=N`: simulation worker threads (default: `BARD_JOBS` or all
 //!   host cores; `--jobs=1` forces the serial path),
+//! * `--progress`: stream `[bard-progress]` percent-complete/ETA lines to
+//!   stderr while the grid runs (weighted by per-job instruction budgets),
 //! * `--engine=step|skip`: simulation engine (default: `BARD_ENGINE` or
 //!   `skip`). The cycle-skipping engine is bitwise-identical to the
 //!   reference step engine and much faster; `step` exists for parity checks
@@ -87,6 +89,8 @@ pub struct Cli {
     pub config: SystemConfig,
     /// Simulation worker threads (`0` = auto).
     pub jobs: usize,
+    /// Stream `[bard-progress]` lines to stderr while grids run.
+    pub progress: bool,
     /// Stdout format.
     pub format: OutputFormat,
     /// Artifact output directory (`--out=DIR`), if any.
@@ -117,6 +121,7 @@ impl Cli {
         let mut workloads = WorkloadId::all();
         let mut config = SystemConfig::baseline_8core();
         let mut jobs = 0;
+        let mut progress = false;
         let mut format = OutputFormat::Text;
         let mut out = None;
         let mut seed = None;
@@ -156,6 +161,8 @@ impl Cli {
                 snapshot_dir = Some(PathBuf::from(dir));
             } else if let Some(n) = arg.strip_prefix("--jobs=") {
                 jobs = n.parse().expect("--jobs=N needs a number");
+            } else if arg == "--progress" {
+                progress = true;
             } else if let Some(name) = arg.strip_prefix("--engine=") {
                 engine = Some(
                     EngineKind::from_name(name)
@@ -202,14 +209,14 @@ impl Cli {
             config.probe = probe;
         }
         let snapshots = snapshot_dir.map(SnapshotStore::new);
-        Self { length, workloads, config, jobs, format, out, snapshots }
+        Self { length, workloads, config, jobs, progress, format, out, snapshots }
     }
 
     /// The runner configured by `--jobs` (auto-sized when the flag is
-    /// absent).
+    /// absent) and `--progress`.
     #[must_use]
     pub fn runner(&self) -> Runner {
-        Runner::new(self.jobs)
+        Runner::new(self.jobs).with_progress(self.progress)
     }
 
     /// The provenance record every artifact produced under this CLI carries:
@@ -289,7 +296,7 @@ fn print_usage() {
     eprintln!(
         "usage: <experiment> [--test|--quick|--standard] [--singles|--mixes] \
          [--workloads=a,b,c] [--cores=N] [--seed=N] [--trace-dir=DIR] \
-         [--snapshot-dir=DIR] [--jobs=N] [--engine=step|skip] \
+         [--snapshot-dir=DIR] [--jobs=N] [--progress] [--engine=step|skip] \
          [--sched=scan|incremental] [--probe=walk|fused] \
          [--format=text|json|csv] [--out=DIR]"
     );
@@ -396,6 +403,16 @@ mod tests {
         assert_eq!(cli.out.as_deref(), Some(Path::new("results/run1")));
         assert_eq!(OutputFormat::from_name("csv"), Ok(OutputFormat::Csv));
         assert!(OutputFormat::from_name("yaml").is_err());
+    }
+
+    #[test]
+    fn progress_flag_configures_the_runner() {
+        let cli = Cli::from_args(std::iter::empty());
+        assert!(!cli.progress);
+        assert!(!cli.runner().progress());
+        let cli = Cli::from_args(["--progress".to_string()].into_iter());
+        assert!(cli.progress);
+        assert!(cli.runner().progress());
     }
 
     #[test]

@@ -20,3 +20,7 @@ pub mod experiments;
 pub mod harness;
 pub mod repro;
 pub mod tracecli;
+
+// Re-export the core observability subsystem so bench consumers (experiment
+// binaries, perf_smoke, integration tests) address one crate.
+pub use bard::telemetry;

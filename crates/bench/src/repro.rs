@@ -105,6 +105,7 @@ impl Summary {
             ("wall_clock_seconds", Json::num(round3(self.provenance.wall_clock_seconds))),
             ("total", Json::num(self.outcomes.len() as f64)),
             ("failed", Json::num(self.failed() as f64)),
+            ("warm_fork", warm_fork_json()),
             (
                 "experiments",
                 Json::Arr(
@@ -208,8 +209,24 @@ pub fn run_suite(
         std::fs::create_dir_all(dir)
             .and_then(|()| std::fs::write(dir.join("summary.json"), text))
             .unwrap_or_else(|e| panic!("cannot write summary.json to {}: {e}", dir.display()));
+        if bard::telemetry::enabled() {
+            bard::telemetry::write_files(dir)
+                .unwrap_or_else(|e| panic!("cannot write telemetry to {}: {e}", dir.display()));
+        }
     }
     summary
+}
+
+/// `summary.json`'s `warm_fork` object (see [`schema::WARM_FORK_FIELDS`]):
+/// the process-lifetime snapshot-reuse counters, zero throughout when
+/// `--snapshot-dir` is not used.
+fn warm_fork_json() -> Json {
+    let (written, reused, skipped) = bard::snapshot::counters();
+    Json::obj(vec![
+        ("images_written", Json::num(written as f64)),
+        ("images_reused", Json::num(reused as f64)),
+        ("warmup_instructions_skipped", Json::num(skipped as f64)),
+    ])
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

@@ -179,13 +179,19 @@ fn summary_shape_matches_golden_file() {
     let text = std::fs::read_to_string(tmp.0.join("summary.json")).unwrap();
     let parsed = Json::parse(&text).unwrap();
     let got = shape(&parsed).join("\n");
-    let want = include_str!("golden/summary_shape.txt").trim_end();
-    assert_eq!(
-        got, want,
-        "summary.json shape changed — if intentional, bump \
-         bard::report::schema::SCHEMA_VERSION, update docs/RESULTS.md and refresh \
-         crates/bench/tests/golden/summary_shape.txt with the shape above"
-    );
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/summary_shape.txt");
+    if std::env::var_os("BARD_BLESS").is_some() {
+        std::fs::write(golden_path, format!("{got}\n")).expect("write golden file");
+    } else {
+        let want = std::fs::read_to_string(golden_path).expect("golden file exists");
+        assert_eq!(
+            got,
+            want.trim_end(),
+            "summary.json shape changed — if intentional, bump \
+             bard::report::schema::SCHEMA_VERSION, update docs/RESULTS.md and regenerate with \
+             BARD_BLESS=1 cargo test -p bard-bench --test artifacts"
+        );
+    }
 
     // The per-experiment artifact referenced by the summary exists and parses.
     let entry = &parsed.get("experiments").unwrap().as_array().unwrap()[0];

@@ -23,7 +23,12 @@
 //!   The worker count comes from `--jobs=N` in the experiment binaries, the
 //!   `BARD_JOBS` environment variable, or the host's available parallelism,
 //!   and never changes a metric — a parallel grid is bitwise-identical to a
-//!   serial one.
+//!   serial one,
+//! * [`telemetry`] — unified observability: the static metrics registry, the
+//!   simulated-time event tracer (Chrome trace-event JSON), the grid
+//!   progress meter and the model-phase self-profiler. Telemetry never
+//!   perturbs the simulation: enabling it changes no result bit or artifact
+//!   byte (pinned by the differential-stress suite).
 //!
 //! ## Quick start
 //!
@@ -68,6 +73,7 @@ pub mod report;
 pub mod runner;
 pub mod snapshot;
 pub mod system;
+pub mod telemetry;
 
 pub use bard_cache::ProbeKind;
 pub use blp_tracker::BlpTracker;
@@ -80,6 +86,7 @@ pub use report::{Artifact, Provenance, RunRecord};
 pub use runner::{Job, Runner};
 pub use snapshot::{Snapshot, SnapshotError, SnapshotStore};
 pub use system::{RunOutcome, System};
+pub use telemetry::{Metric, MetricKind, Phase, Progress};
 
 // Re-export the substrate crates so downstream users need a single dependency.
 pub use bard_cache as cache;

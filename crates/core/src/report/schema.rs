@@ -11,7 +11,12 @@
 ///
 /// v2: `summary.json`'s `experiments` array is sorted by per-experiment
 /// `wall_clock_seconds` descending (v1 used execution order).
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: adds the telemetry artifacts — `metrics.json` / `metrics.csv` (see
+/// [`METRICS_FIELDS`]) and the Chrome trace-event `trace_events.json` — and
+/// `summary.json`'s `warm_fork` snapshot-reuse rollup (see
+/// [`WARM_FORK_FIELDS`]).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Name, units and meaning of one schema field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,11 +101,26 @@ pub const SUMMARY_FIELDS: &[FieldSpec] = &[
     field("wall_clock_seconds", "s", "Wall-clock time of the whole suite run"),
     field("total", "experiments", "Number of experiments attempted"),
     field("failed", "experiments", "Number of experiments that panicked"),
+    field("warm_fork", "-", "Snapshot warm-fork reuse rollup (see warm-fork fields)"),
     field(
         "experiments",
         "-",
         "Per-experiment status entries, sorted by wall clock descending (see summary experiment \
          fields)",
+    ),
+];
+
+/// Keys of `summary.json`'s `warm_fork` object: the process-lifetime
+/// snapshot-reuse counters (zero throughout when `--snapshot-dir` is not
+/// used). Counted unconditionally — the rollup does not depend on
+/// `BARD_TELEMETRY`.
+pub const WARM_FORK_FIELDS: &[FieldSpec] = &[
+    field("images_written", "images", "Warm snapshot images captured and published"),
+    field("images_reused", "images", "Warm snapshot images restored instead of re-simulated"),
+    field(
+        "warmup_instructions_skipped",
+        "instructions",
+        "Functional warm-up instructions skipped via snapshot reuse (summed over cores)",
     ),
 ];
 
@@ -126,15 +146,66 @@ pub const CSV_COLUMNS: &[&str] = &["experiment", "table", "row", "column", "valu
 /// these names.
 pub const CSV_RESERVED_TABLES: &[&str] = &["records", "deltas"];
 
+/// Top-level keys of the telemetry metrics artifact (`metrics.json`),
+/// written next to the result artifacts when telemetry is enabled.
+pub const METRICS_FIELDS: &[FieldSpec] = &[
+    field("schema_version", "-", "Artifact schema version (this document)"),
+    field("metrics", "-", "Metric catalog entries in emission order (see metric entry fields)"),
+    field("histograms", "-", "Histogram snapshots (see histogram entry fields)"),
+];
+
+/// Keys of one `metrics[]` entry inside `metrics.json`.
+pub const METRIC_ENTRY_FIELDS: &[FieldSpec] = &[
+    field("name", "-", "Stable dotted metric name, e.g. \"probe.set_scans\""),
+    field("kind", "-", "\"counter\" or \"gauge\""),
+    field("units", "-", "Unit label of the value"),
+    field("help", "-", "One-line metric description"),
+    field("value", "-", "Current value (u64, exact up to 2^53)"),
+];
+
+/// Keys of one `histograms[]` entry inside `metrics.json`.
+pub const HISTOGRAM_ENTRY_FIELDS: &[FieldSpec] = &[
+    field("name", "-", "Stable dotted histogram name"),
+    field("units", "-", "Unit label of observed values"),
+    field("help", "-", "One-line histogram description"),
+    field("count", "observations", "Total observations"),
+    field("sum", "-", "Sum of observed values (histogram units)"),
+    field("buckets", "-", "{le, count} entries; power-of-two inclusive upper bounds"),
+];
+
+/// Column headers of `metrics.csv` (histograms contribute `<name>.count` and
+/// `<name>.sum` rows).
+pub const METRICS_CSV_COLUMNS: &[&str] = &["name", "kind", "units", "value"];
+
+/// Required keys of one `traceEvents[]` entry in the Chrome trace-event
+/// `trace_events.json` (span events add `dur`, instant events add `s`).
+pub const TRACE_EVENT_FIELDS: &[FieldSpec] = &[
+    field("name", "-", "Event name, e.g. \"measure\" or \"write_drain\""),
+    field("cat", "-", "Constant category \"bard\" (metadata events omit it)"),
+    field("ph", "-", "Phase: \"X\" span, \"i\" instant, \"M\" metadata"),
+    field("ts", "simulated cycles", "Start cycle (simulated time, not host time)"),
+    field("pid", "-", "Constant 0"),
+    field("tid", "-", "Track index; thread_name metadata maps it to a track name"),
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn field_lists_have_unique_names() {
-        for fields in
-            [ARTIFACT_FIELDS, RUN_RECORD_FIELDS, DELTA_FIELDS, SUMMARY_FIELDS, PROVENANCE_FIELDS]
-        {
+        for fields in [
+            ARTIFACT_FIELDS,
+            RUN_RECORD_FIELDS,
+            DELTA_FIELDS,
+            SUMMARY_FIELDS,
+            PROVENANCE_FIELDS,
+            WARM_FORK_FIELDS,
+            METRICS_FIELDS,
+            METRIC_ENTRY_FIELDS,
+            HISTOGRAM_ENTRY_FIELDS,
+            TRACE_EVENT_FIELDS,
+        ] {
             let mut names: Vec<_> = fields.iter().map(|f| f.name).collect();
             names.sort_unstable();
             let before = names.len();
@@ -145,7 +216,16 @@ mod tests {
 
     #[test]
     fn descriptions_are_nonempty() {
-        for f in ARTIFACT_FIELDS.iter().chain(RUN_RECORD_FIELDS).chain(SUMMARY_FIELDS) {
+        for f in ARTIFACT_FIELDS
+            .iter()
+            .chain(RUN_RECORD_FIELDS)
+            .chain(SUMMARY_FIELDS)
+            .chain(WARM_FORK_FIELDS)
+            .chain(METRICS_FIELDS)
+            .chain(METRIC_ENTRY_FIELDS)
+            .chain(HISTOGRAM_ENTRY_FIELDS)
+            .chain(TRACE_EVENT_FIELDS)
+        {
             assert!(!f.description.is_empty(), "{} lacks a description", f.name);
             assert!(!f.units.is_empty(), "{} lacks units", f.name);
         }

@@ -41,6 +41,7 @@ use crate::experiment::RunLength;
 use crate::metrics::RunResult;
 use crate::snapshot::SnapshotStore;
 use crate::system::System;
+use crate::telemetry;
 
 /// One unit of grid work: a single workload simulated under a single
 /// configuration for a given run length.
@@ -125,12 +126,24 @@ impl Job {
         let mut system = System::new(self.config.clone(), self.workload);
         system.run(self.length.functional_warmup, self.length.timed_warmup, self.length.measure)
     }
+
+    /// The job's instruction budget (warm-up + measure, summed over cores):
+    /// the progress meter's weight, so percent/ETA track simulated work
+    /// rather than job count.
+    #[must_use]
+    pub fn instruction_weight(&self) -> u64 {
+        (self.length.functional_warmup)
+            .saturating_add(self.length.timed_warmup)
+            .saturating_add(self.length.measure)
+            .saturating_mul(self.config.cores as u64)
+    }
 }
 
 /// A scoped-thread executor for simulation grids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Runner {
     threads: usize,
+    progress: bool,
 }
 
 impl Runner {
@@ -139,13 +152,30 @@ impl Runner {
     #[must_use]
     pub fn new(threads: usize) -> Self {
         let threads = if threads == 0 { auto_threads() } else { threads };
-        Self { threads }
+        Self { threads, progress: false }
     }
 
     /// A runner that executes jobs one at a time on the calling thread.
     #[must_use]
     pub fn serial() -> Self {
-        Self { threads: 1 }
+        Self { threads: 1, progress: false }
+    }
+
+    /// Enables or disables live grid progress: throttled
+    /// `[bard-progress] k/n jobs ...` percent/ETA lines on stderr, weighted
+    /// by each job's instruction budget (the `--progress` flag lands here).
+    /// Progress output never changes a result — it is stderr-only and
+    /// observes jobs from outside.
+    #[must_use]
+    pub fn with_progress(mut self, progress: bool) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Whether live grid progress is enabled.
+    #[must_use]
+    pub fn progress(&self) -> bool {
+        self.progress
     }
 
     /// The worker count this runner fans out to.
@@ -169,7 +199,22 @@ impl Runner {
     /// a failing grid aborts promptly instead of draining the whole queue.
     #[must_use]
     pub fn run_grid(&self, jobs: Vec<Job>) -> Vec<RunResult> {
-        self.run_jobs(jobs, Job::run)
+        let meter = self.progress.then(|| {
+            telemetry::Progress::start(jobs.len(), jobs.iter().map(Job::instruction_weight).sum())
+        });
+        let meter = meter.as_ref();
+        self.run_jobs(jobs, |job| {
+            let started = std::time::Instant::now();
+            let result = job.run();
+            if telemetry::enabled() {
+                telemetry::RUNNER_JOBS_COMPLETED.add(1);
+                telemetry::RUNNER_JOB_MILLIS.observe(started.elapsed().as_millis() as u64);
+            }
+            if let Some(meter) = meter {
+                meter.job_done(job.instruction_weight());
+            }
+            result
+        })
     }
 
     /// Runs an arbitrary set of independent work items in parallel,

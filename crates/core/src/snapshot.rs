@@ -1211,21 +1211,17 @@ impl Snapshot {
 // Content-addressed store
 // ---------------------------------------------------------------------------
 
-/// Snapshot images published (files written) by this process.
-static IMAGES_WRITTEN: AtomicU64 = AtomicU64::new(0);
-/// Snapshot images reused (restored instead of re-warmed) by this process.
-static IMAGES_REUSED: AtomicU64 = AtomicU64::new(0);
-/// Functional warm-up instructions skipped through reuse (summed over cores).
-static WARMUP_INSTRUCTIONS_SKIPPED: AtomicU64 = AtomicU64::new(0);
-
 /// Current process-lifetime snapshot counters: `(images_written,
-/// images_reused, warmup_instructions_skipped)`.
+/// images_reused, warmup_instructions_skipped)`. The cells live in the
+/// telemetry registry (`snapshot.images_written` and friends) and count
+/// unconditionally — `repro`'s `summary.json` warm-fork rollup and the
+/// `[bard-perf]` snapshot line read them whether or not telemetry is on.
 #[must_use]
 pub fn counters() -> (u64, u64, u64) {
     (
-        IMAGES_WRITTEN.load(Ordering::Relaxed),
-        IMAGES_REUSED.load(Ordering::Relaxed),
-        WARMUP_INSTRUCTIONS_SKIPPED.load(Ordering::Relaxed),
+        crate::telemetry::SNAPSHOT_IMAGES_WRITTEN.value(),
+        crate::telemetry::SNAPSHOT_IMAGES_REUSED.value(),
+        crate::telemetry::SNAPSHOT_WARMUP_INSTRUCTIONS_SKIPPED.value(),
     )
 }
 
@@ -1252,8 +1248,7 @@ pub fn format_counters_line() -> String {
 /// `[bard-perf]` lines the system emits. Drivers call this once after a
 /// snapshot-backed grid completes.
 pub fn print_counters_if_enabled() {
-    let enabled = std::env::var("BARD_PERF_COUNTERS").is_ok_and(|v| !v.is_empty() && v != "0");
-    if enabled {
+    if crate::telemetry::perf_line_enabled() {
         eprintln!("{}", format_counters_line());
     }
 }
@@ -1318,11 +1313,9 @@ impl SnapshotStore {
             })?;
             let system =
                 System::restore_warm(config.clone(), workload, functional_warmup, &snapshot)?;
-            IMAGES_REUSED.fetch_add(1, Ordering::Relaxed);
-            WARMUP_INSTRUCTIONS_SKIPPED.fetch_add(
-                functional_warmup.saturating_mul(config.cores as u64),
-                Ordering::Relaxed,
-            );
+            crate::telemetry::SNAPSHOT_IMAGES_REUSED.add(1);
+            crate::telemetry::SNAPSHOT_WARMUP_INSTRUCTIONS_SKIPPED
+                .add(functional_warmup.saturating_mul(config.cores as u64));
             return Ok(system);
         }
         let mut system = System::new(config.clone(), workload);
@@ -1331,7 +1324,7 @@ impl SnapshotStore {
         }
         let snapshot = system.capture_warm(functional_warmup);
         self.publish(&path, &snapshot.to_bytes())?;
-        IMAGES_WRITTEN.fetch_add(1, Ordering::Relaxed);
+        crate::telemetry::SNAPSHOT_IMAGES_WRITTEN.add(1);
         Ok(system)
     }
 

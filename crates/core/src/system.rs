@@ -41,6 +41,7 @@ use crate::metrics::RunResult;
 use crate::snapshot::{
     self, CoreImage, EventImage, ProgressImage, Snapshot, SnapshotError, SystemImage,
 };
+use crate::telemetry;
 
 /// Maximum memory requests a core may hand to the hierarchy per cycle.
 const MAX_STAGED_PER_CYCLE: usize = 8;
@@ -329,6 +330,18 @@ pub struct System {
     /// Driver progress of a staged run (see [`System::run_to_pause`]);
     /// `None` outside one.
     progress: Option<RunProgress>,
+    /// [`telemetry::enabled`] cached at construction, so hot-path telemetry
+    /// hooks cost one predictable branch on a plain bool. Not simulation
+    /// state: excluded from snapshot images and never compared.
+    telemetry_active: bool,
+    /// Host nanoseconds attributed to each model phase while
+    /// `telemetry_active` (see [`telemetry::Phase`]); flushed into the
+    /// registry at result collection. Not simulation state.
+    phase_nanos: [u64; telemetry::PHASE_COUNT],
+    /// Cycle the current run stage started at — tracer bookkeeping for the
+    /// warm-up/measure spans. Not simulation state (a restore restarts it,
+    /// which can shorten the *traced* warm-up span, never the simulation).
+    stage_start_cycle: u64,
 }
 
 impl System {
@@ -383,8 +396,16 @@ impl System {
             config.write_policy,
             &config.dram,
         );
-        let mcs =
+        let telemetry_active = telemetry::enabled();
+        let mut mcs: Vec<MemoryController> =
             (0..config.dram.channels).map(|ch| MemoryController::new(&config.dram, ch)).collect();
+        if telemetry_active {
+            // Pure side log (drain episodes for the tracer); recording
+            // changes no scheduling decision or statistic.
+            for mc in &mut mcs {
+                mc.set_episode_recording(true);
+            }
+        }
         // Ring must cover the largest schedulable latency (the LLC hit
         // latency; `validate` guarantees l1 < l2 < llc).
         let ring_len = (config.llc_latency + 1).next_power_of_two().max(2) as usize;
@@ -422,6 +443,33 @@ impl System {
             scratch_retry: Vec::new(),
             shared_progress: 0,
             progress: None,
+            telemetry_active,
+            phase_nanos: [0; telemetry::PHASE_COUNT],
+            stage_start_cycle: 0,
+        }
+    }
+
+    /// The tracer track (Perfetto "thread") this system's events render on.
+    fn trace_track(&self) -> String {
+        format!("{}/{}", self.workload.name(), self.config.label())
+    }
+
+    /// Starts a phase-timer sample when telemetry is active; `None` (one
+    /// predictable branch, no clock read) otherwise.
+    #[inline]
+    fn phase_start(&self) -> Option<std::time::Instant> {
+        if self.telemetry_active {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a phase-timer sample opened by [`System::phase_start`].
+    #[inline]
+    fn phase_end(&mut self, started: Option<std::time::Instant>, phase: telemetry::Phase) {
+        if let Some(t) = started {
+            self.phase_nanos[phase as usize] += t.elapsed().as_nanos() as u64;
         }
     }
 
@@ -543,6 +591,15 @@ impl System {
                 for ctx in &mut self.cores {
                     ctx.finish_cycle.get_or_insert(now);
                 }
+                if self.telemetry_active {
+                    telemetry::RUN_GUARD_TERMINATIONS.add(1);
+                    telemetry::trace_instant(
+                        &self.trace_track(),
+                        "guard_termination",
+                        now,
+                        &[("guard_cycle", guard)],
+                    );
+                }
                 return Some(false);
             }
             if pause_at.is_some_and(|p| now >= p) {
@@ -599,7 +656,16 @@ impl System {
         if self.progress.is_none() {
             if functional_warmup > 0 {
                 self.functional_warmup(functional_warmup);
+                if self.telemetry_active {
+                    telemetry::trace_instant(
+                        &self.trace_track(),
+                        "functional_warmup",
+                        self.cycle,
+                        &[("instructions_per_core", functional_warmup)],
+                    );
+                }
             }
+            self.stage_start_cycle = self.cycle;
             if timed_warmup > 0 {
                 let (start_retired, guard) = self.begin_span(timed_warmup);
                 self.progress = Some(RunProgress {
@@ -655,6 +721,16 @@ impl System {
     /// arm the guard.
     fn enter_measure(&mut self, timed_warmup: u64, measure: u64) {
         let measure_start_cycle = self.cycle;
+        if self.telemetry_active && timed_warmup > 0 {
+            telemetry::trace_span(
+                &self.trace_track(),
+                "timed_warmup",
+                self.stage_start_cycle,
+                measure_start_cycle,
+                &[("instructions_per_core", timed_warmup)],
+            );
+        }
+        self.stage_start_cycle = measure_start_cycle;
         self.reset_stats();
         let (start_retired, guard) = self.begin_span(measure);
         self.progress = Some(RunProgress {
@@ -668,7 +744,7 @@ impl System {
     }
 
     fn collect_results(
-        &self,
+        &mut self,
         instructions_per_core: u64,
         measure_start_cycle: u64,
         completed: bool,
@@ -700,7 +776,7 @@ impl System {
             subchannels += s.subchannels;
             energy.merge(&mc.energy());
         }
-        if perf_counters_enabled() {
+        if self.telemetry_active || perf_counters_enabled() {
             let mut probes = ProbeCounters::default();
             for ctx in &self.cores {
                 probes.merge(&ctx.l1d.probe_counters());
@@ -708,18 +784,30 @@ impl System {
             }
             probes.merge(&self.llc.probe_counters());
             let settlements: u64 = self.mcs.iter().map(MemoryController::settle_events).sum();
-            eprintln!(
-                "[bard-perf] workload={} probe={} set_scans={} filter_skips={} filter_passes={} \
-                 mshr_releases={} mshr_wakes={} stat_settlements={}",
-                self.workload.name(),
-                self.config.probe.name(),
-                probes.set_scans,
-                probes.filter_skips,
-                probes.filter_passes,
-                self.perf_mshr_releases,
-                self.perf_mshr_wakes,
-                settlements,
-            );
+            if self.telemetry_active {
+                self.flush_run_telemetry(
+                    instructions_per_core,
+                    measure_start_cycle,
+                    completed,
+                    &probes,
+                    settlements,
+                    dram.drain_episodes,
+                );
+            }
+            if perf_counters_enabled() {
+                eprintln!(
+                    "[bard-perf] workload={} probe={} set_scans={} filter_skips={} \
+                     filter_passes={} mshr_releases={} mshr_wakes={} stat_settlements={}",
+                    self.workload.name(),
+                    self.config.probe.name(),
+                    probes.set_scans,
+                    probes.filter_skips,
+                    probes.filter_passes,
+                    self.perf_mshr_releases,
+                    self.perf_mshr_wakes,
+                    settlements,
+                );
+            }
         }
         RunResult {
             workload: self.workload,
@@ -739,6 +827,67 @@ impl System {
         }
     }
 
+    /// Flushes this run's locally-accumulated telemetry — perf counters,
+    /// phase nanoseconds, the measure span and the recorded drain episodes —
+    /// into the process-wide registry and tracer. Called once per collected
+    /// run, only while `telemetry_active`; it reads simulation state but
+    /// mutates none of it.
+    fn flush_run_telemetry(
+        &mut self,
+        instructions_per_core: u64,
+        measure_start_cycle: u64,
+        completed: bool,
+        probes: &ProbeCounters,
+        settlements: u64,
+        drain_episodes: u64,
+    ) {
+        telemetry::RUNS_COLLECTED.add(1);
+        telemetry::RUN_INSTRUCTIONS
+            .add(instructions_per_core.saturating_mul(self.cores.len() as u64));
+        telemetry::RUN_CYCLES.add(self.cycle.saturating_sub(measure_start_cycle));
+        telemetry::PROBE_SET_SCANS.add(probes.set_scans);
+        telemetry::PROBE_FILTER_SKIPS.add(probes.filter_skips);
+        telemetry::PROBE_FILTER_PASSES.add(probes.filter_passes);
+        telemetry::MSHR_RELEASES.add(self.perf_mshr_releases);
+        telemetry::MSHR_WAKES.add(self.perf_mshr_wakes);
+        telemetry::DRAM_STAT_SETTLEMENTS.add(settlements);
+        telemetry::DRAM_DRAIN_EPISODES.add(drain_episodes);
+        telemetry::flush_phase_nanos(&self.phase_nanos);
+        self.phase_nanos = [0; telemetry::PHASE_COUNT];
+        let track = self.trace_track();
+        telemetry::trace_span(
+            &track,
+            "measure",
+            measure_start_cycle,
+            self.cycle,
+            &[
+                ("instructions_per_core", instructions_per_core),
+                ("completed", u64::from(completed)),
+            ],
+        );
+        for (mci, mc) in self.mcs.iter_mut().enumerate() {
+            for (sci, log) in mc.take_episode_logs().into_iter().enumerate() {
+                if log.is_empty() {
+                    continue;
+                }
+                let sub_track = format!("{track}/ch{mci}.sc{sci}");
+                for episode in log {
+                    telemetry::DRAIN_EPISODE_CYCLES.observe(episode.duration());
+                    telemetry::trace_span(
+                        &sub_track,
+                        "write_drain",
+                        episode.start_cycle,
+                        episode.end_cycle,
+                        &[
+                            ("writes", episode.writes),
+                            ("unique_banks", u64::from(episode.unique_banks)),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Snapshots
     // ------------------------------------------------------------------
@@ -750,6 +899,14 @@ impl System {
     /// its recorded stall cycle verbatim and falls back asleep — so resuming
     /// a restored image is bitwise-identical to never having stopped.
     pub fn capture(&mut self) -> Snapshot {
+        if self.telemetry_active {
+            telemetry::trace_instant(
+                &self.trace_track(),
+                "snapshot_capture",
+                self.cycle,
+                &[("warm", 0)],
+            );
+        }
         let image = self.export_image();
         Snapshot::new(
             false,
@@ -767,6 +924,14 @@ impl System {
     /// DRAM parameters or buffer sizes — restores one via
     /// [`System::restore_warm`].
     pub fn capture_warm(&mut self, functional_warmup: u64) -> Snapshot {
+        if self.telemetry_active {
+            telemetry::trace_instant(
+                &self.trace_track(),
+                "snapshot_capture",
+                self.cycle,
+                &[("warm", 1)],
+            );
+        }
         let image = self.export_image();
         Snapshot::new(
             true,
@@ -801,6 +966,14 @@ impl System {
         let image = snapshot::decode_image(snap.payload())?;
         let mut system = Self::new(config, workload);
         system.import_image(&image)?;
+        if system.telemetry_active {
+            telemetry::trace_instant(
+                &system.trace_track(),
+                "snapshot_restore",
+                system.cycle,
+                &[("warm", 0)],
+            );
+        }
         Ok(system)
     }
 
@@ -837,6 +1010,14 @@ impl System {
         let image = snapshot::decode_image(snap.payload())?;
         let mut system = Self::new(config, workload);
         system.import_warm_image(&image)?;
+        if system.telemetry_active {
+            telemetry::trace_instant(
+                &system.trace_track(),
+                "snapshot_restore",
+                system.cycle,
+                &[("warm", 1)],
+            );
+        }
         Ok(system)
     }
 
@@ -1050,9 +1231,12 @@ impl System {
         let event_seq_before = self.event_seq;
         self.mshr_released = false;
         let mut active = false;
+        let timer = self.phase_start();
         for mc in &mut self.mcs {
             active |= mc.tick(now);
         }
+        self.phase_end(timer, telemetry::Phase::DramScheduling);
+        let timer = self.phase_start();
         let mut done = std::mem::take(&mut self.scratch_completed);
         done.clear();
         for mc in &mut self.mcs {
@@ -1067,6 +1251,7 @@ impl System {
         active |= self.flush_writebacks(now);
         active |= self.flush_dram_pending(now);
         active |= self.process_events(now);
+        self.phase_end(timer, telemetry::Phase::CompletionDrain);
 
         if !allow_sleep {
             for ci in 0..self.cores.len() {
@@ -1234,16 +1419,19 @@ impl System {
     /// Must run before DRAM statistics or energy are read; state mutations
     /// settle themselves, so this only closes the trailing quiet span.
     fn settle_dram_stats(&mut self) {
+        let timer = self.phase_start();
         let now = self.cycle;
         for mc in &mut self.mcs {
             mc.settle_stats(now);
         }
+        self.phase_end(timer, telemetry::Phase::StatSettlement);
     }
 
     /// Settles every sleeping core's lazily-accounted stall statistics up to
     /// the current cycle and wakes it. Must run before statistics are read
     /// or reset.
     fn settle_cores(&mut self) {
+        let timer = self.phase_start();
         let now = self.cycle;
         for (ctx, gate) in self.cores.iter_mut().zip(&mut self.gates) {
             if gate.asleep {
@@ -1256,6 +1444,7 @@ impl System {
         self.shared_watch_mask = 0;
         self.mshr_wait_mask = 0;
         self.mshr_line_watch_mask = 0;
+        self.phase_end(timer, telemetry::Phase::StatSettlement);
     }
 
     /// A new MSHR entry for `line` was just allocated mid-loop: any
@@ -1316,6 +1505,7 @@ impl System {
     fn core_cycle(&mut self, ci: usize, now: u64) -> bool {
         let mut staged = std::mem::take(&mut self.scratch_staged);
         staged.clear();
+        let timer = self.phase_start();
         let before = {
             let ctx = &mut self.cores[ci];
             let before = (ctx.core.dispatched(), ctx.core.retired(), ctx.retry.len());
@@ -1330,11 +1520,13 @@ impl System {
             });
             before
         };
+        self.phase_end(timer, telemetry::Phase::Dispatch);
         let mut pending = std::mem::take(&mut self.scratch_retry);
         pending.clear();
         pending.extend(self.cores[ci].retry.drain(..));
         pending.append(&mut staged);
         self.scratch_staged = staged;
+        let timer = self.phase_start();
         let mut blocked = false;
         for req in pending.drain(..) {
             // `process_core_request` records the rejecting gate in
@@ -1346,6 +1538,7 @@ impl System {
                 self.cores[ci].retry.push_back(req);
             }
         }
+        self.phase_end(timer, telemetry::Phase::Probe);
         self.scratch_retry = pending;
         let ctx = &self.cores[ci];
         before != (ctx.core.dispatched(), ctx.core.retired(), ctx.retry.len())
@@ -1827,10 +2020,7 @@ fn build_trace(config: &SystemConfig, workload: WorkloadId, core: usize) -> Box<
 /// scans, MSHR wake routing and lazy stat settlements — is summarised on
 /// stderr as one line per collected run. Cached after the first read.
 fn perf_counters_enabled() -> bool {
-    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *ENABLED.get_or_init(|| {
-        std::env::var("BARD_PERF_COUNTERS").is_ok_and(|v| !v.is_empty() && v != "0")
-    })
+    telemetry::perf_line_enabled()
 }
 
 fn completion_event(core: usize, req: &CoreRequest) -> Event {

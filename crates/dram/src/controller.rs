@@ -5,7 +5,7 @@ use crate::address::AddressMapping;
 use crate::config::DramConfig;
 use crate::power::{EnergyBreakdown, PowerModel};
 use crate::request::{CompletedRead, EnqueueError, MemRequest};
-use crate::stats::{ChannelStats, SubChannelStats};
+use crate::stats::{ChannelStats, DrainEpisodeStats, SubChannelStats};
 use crate::subchannel::{SubChannel, SubChannelState};
 
 /// Plain-data image of a whole channel controller (snapshot support).
@@ -209,6 +209,20 @@ impl MemoryController {
     #[must_use]
     pub fn settle_events(&self) -> u64 {
         self.subchannels.iter().map(SubChannel::settle_events).sum()
+    }
+
+    /// Turns drain-episode logging on or off for every sub-channel (see
+    /// [`SubChannel::set_episode_recording`]).
+    pub fn set_episode_recording(&mut self, on: bool) {
+        for sub in &mut self.subchannels {
+            sub.set_episode_recording(on);
+        }
+    }
+
+    /// Drains each sub-channel's recorded drain-episode log, in sub-channel
+    /// order.
+    pub fn take_episode_logs(&mut self) -> Vec<Vec<DrainEpisodeStats>> {
+        self.subchannels.iter_mut().map(SubChannel::take_episode_log).collect()
     }
 
     /// True if any sub-channel write queue holds a request for the given

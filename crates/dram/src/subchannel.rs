@@ -273,11 +273,25 @@ pub struct SubChannel {
     /// Count of non-empty statistic settlements (perf counter; see
     /// `BARD_PERF_COUNTERS`). Not part of [`SubChannelStats`].
     settle_events: u64,
+    /// When true, every finished drain episode is appended to
+    /// [`SubChannel::episode_log`] for the telemetry tracer. Off by default;
+    /// recording changes no simulation state, only this side log.
+    record_episodes: bool,
+    /// Completed drain episodes captured while `record_episodes` is set,
+    /// capped at [`EPISODE_LOG_CAP`]. Not simulation state: excluded from
+    /// snapshot images and never compared.
+    episode_log: Vec<DrainEpisodeStats>,
     /// Exact next cycle at which this sub-channel can do anything (issue a
     /// command, refresh, or close a dead row). Ticks before this cycle only
     /// account statistics. Reset to 0 (recompute) by any enqueue or issue.
     wake_at: u64,
 }
+
+/// Upper bound on [`SubChannel::episode_log`] entries per sub-channel, so a
+/// pathological drain-thrashing run cannot grow telemetry memory unboundedly.
+/// At the cap new episodes are dropped silently (aggregate stats still count
+/// them).
+const EPISODE_LOG_CAP: usize = 65_536;
 
 impl SubChannel {
     /// Creates a sub-channel from the DRAM configuration. Timing parameters
@@ -326,6 +340,8 @@ impl SubChannel {
             stats: SubChannelStats::default(),
             settled_to: 0,
             settle_events: 0,
+            record_episodes: false,
+            episode_log: Vec::new(),
             wake_at: 0,
         }
     }
@@ -364,6 +380,22 @@ impl SubChannel {
     #[must_use]
     pub fn stats(&self) -> &SubChannelStats {
         &self.stats
+    }
+
+    /// Turns per-episode drain logging on or off (telemetry tracer input).
+    /// Recording is a pure side log: it never changes scheduling decisions,
+    /// statistics, or snapshot images.
+    pub fn set_episode_recording(&mut self, on: bool) {
+        self.record_episodes = on;
+        if !on {
+            self.episode_log.clear();
+        }
+    }
+
+    /// Drains the recorded drain-episode log (empty unless
+    /// [`SubChannel::set_episode_recording`] enabled it).
+    pub fn take_episode_log(&mut self) -> Vec<DrainEpisodeStats> {
+        std::mem::take(&mut self.episode_log)
     }
 
     /// Clears all statistics (used at the end of warm-up). Microarchitectural
@@ -917,6 +949,9 @@ impl SubChannel {
                 writes: self.episode_writes,
                 unique_banks: unique,
             };
+            if self.record_episodes && self.episode_log.len() < EPISODE_LOG_CAP {
+                self.episode_log.push(self.stats.last_episode);
+            }
         }
         // Write-to-read turnaround before reads may resume.
         let turnaround = self.timing.write_to_read_turnaround();

@@ -63,7 +63,7 @@ pub use import::{parse_text, render_text};
 pub use reader::{verify_file, TraceReader};
 pub use recording::RecordingSource;
 pub use replay::{ReplayThenLive, ReplayWorkload};
-pub use store::TraceStore;
+pub use store::{decode_cache_counters, DecodeCacheCounters, TraceStore};
 pub use writer::TraceWriter;
 
 #[cfg(test)]

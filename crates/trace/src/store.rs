@@ -29,6 +29,41 @@ fn decode_cache() -> &'static DecodeCache {
     CACHE.get_or_init(DecodeCache::default)
 }
 
+/// Decode-cache opens served from an already-decoded entry.
+static DECODE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Decode-cache opens that had to decode the file from disk.
+static DECODE_MISSES: AtomicU64 = AtomicU64::new(0);
+/// Fresh captures published through the store (each also seeds the cache).
+static DECODE_CAPTURES: AtomicU64 = AtomicU64::new(0);
+
+/// Point-in-time view of the process-wide decode-cache counters, scraped by
+/// the core telemetry registry (the trace crate sits below `bard` in the
+/// dependency graph, so the registry pulls these through a probe function
+/// rather than this crate pushing into it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeCacheCounters {
+    /// Opens served from the cache.
+    pub hits: u64,
+    /// Opens that decoded from disk.
+    pub misses: u64,
+    /// Fresh captures published (and cache-seeded).
+    pub captures: u64,
+    /// Distinct decoded paths currently held.
+    pub entries: u64,
+}
+
+/// Reads the decode-cache counters (process-wide, monotonic except
+/// `entries`).
+#[must_use]
+pub fn decode_cache_counters() -> DecodeCacheCounters {
+    DecodeCacheCounters {
+        hits: DECODE_HITS.load(Ordering::Relaxed),
+        misses: DECODE_MISSES.load(Ordering::Relaxed),
+        captures: DECODE_CAPTURES.load(Ordering::Relaxed),
+        entries: decode_cache().lock().expect("decode cache poisoned").len() as u64,
+    }
+}
+
 /// A directory of BTF1 traces keyed by `(workload, core, seed, instruction
 /// budget)`.
 ///
@@ -111,6 +146,7 @@ impl TraceStore {
         // Seed the cache: the captured records are exactly the published
         // file's contents, so later opens of the same path share them.
         let records: Arc<[TraceRecord]> = records.into();
+        DECODE_CAPTURES.fetch_add(1, Ordering::Relaxed);
         decode_cache()
             .lock()
             .expect("decode cache poisoned")
@@ -133,8 +169,10 @@ impl TraceStore {
     pub fn open_cached(path: &Path) -> Result<ReplayWorkload, TraceError> {
         let mut cache = decode_cache().lock().expect("decode cache poisoned");
         if let Some((header, records)) = cache.get(path) {
+            DECODE_HITS.fetch_add(1, Ordering::Relaxed);
             return ReplayWorkload::from_shared(header.clone(), Arc::clone(records));
         }
+        DECODE_MISSES.fetch_add(1, Ordering::Relaxed);
         let (header, records) = TraceReader::open(path)?.read_all()?;
         let records: Arc<[TraceRecord]> = records.into();
         cache.insert(path.to_path_buf(), (header.clone(), Arc::clone(&records)));

@@ -35,8 +35,8 @@ impl Prefetcher for NoPrefetcher {
 #[derive(Debug, Clone)]
 pub struct IpStridePrefetcher {
     table_entries: usize,
-    line_bytes: u64,
-    degree: usize,
+    line_bytes: u64, // bard-lint: allow(S1) -- config parameter fixed at construction
+    degree: usize,   // bard-lint: allow(S1) -- config parameter fixed at construction
     entries: Vec<StrideEntry>,
 }
 

@@ -104,7 +104,7 @@ pub trait ReplacementPolicy: std::fmt::Debug + Send {
 /// True LRU: per-way timestamps updated on every touch.
 #[derive(Debug, Clone)]
 pub struct Lru {
-    ways: usize,
+    ways: usize, // bard-lint: allow(S1) -- geometry fixed at construction
     stamp: u64,
     last_use: Vec<u64>,
 }
@@ -178,7 +178,7 @@ const RRPV_INSERT: u8 = 2;
 /// Static RRIP with 2-bit re-reference prediction values.
 #[derive(Debug, Clone)]
 pub struct Srrip {
-    ways: usize,
+    ways: usize, // bard-lint: allow(S1) -- geometry fixed at construction
     rrpv: Vec<u8>,
 }
 
@@ -262,7 +262,7 @@ const SHCT_MAX: u8 = 7;
 /// signature predicts no reuse are inserted with the maximum RRPV.
 #[derive(Debug, Clone)]
 pub struct Ship {
-    ways: usize,
+    ways: usize, // bard-lint: allow(S1) -- geometry fixed at construction
     rrpv: Vec<u8>,
     line_sig: Vec<u16>,
     shct: Vec<u8>,

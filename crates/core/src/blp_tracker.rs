@@ -15,8 +15,8 @@
 /// A self-resetting bitmap of banks with pending write-backs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlpTracker {
-    banks_per_channel: usize,
-    banks_per_subchannel: usize,
+    banks_per_channel: usize, // bard-lint: allow(S1) -- geometry fixed at construction
+    banks_per_subchannel: usize, // bard-lint: allow(S1) -- geometry fixed at construction
     /// One 64-bit word per channel (64 banks per DDR5 channel).
     bits: Vec<u64>,
     set_events: u64,

@@ -46,16 +46,16 @@ pub struct LlcState {
 pub struct SlicedLlc {
     slices: Vec<SetAssocCache>,
     slice_count: usize,
-    policy: WritePolicyKind,
+    policy: WritePolicyKind, // bard-lint: allow(S1) -- config knob fixed at construction
     tracker: BlpTracker,
-    mapping: AddressMapping,
-    banks_per_group: usize,
-    banks_per_subchannel: usize,
+    mapping: AddressMapping, // bard-lint: allow(S1) -- config knob fixed at construction
+    banks_per_group: usize,  // bard-lint: allow(S1) -- geometry fixed at construction
+    banks_per_subchannel: usize, // bard-lint: allow(S1) -- geometry fixed at construction
     stats: PolicyStats,
     /// Reused buffers for the eviction decision (one allocation per
     /// `SlicedLlc` instead of two per fill).
-    scratch_order: Vec<usize>,
-    scratch_lines: Vec<bard_cache::CacheLine>,
+    scratch_order: Vec<usize>, // bard-lint: allow(S1) -- scratch buffer, cleared per use
+    scratch_lines: Vec<bard_cache::CacheLine>, // bard-lint: allow(S1) -- scratch, cleared per use
 }
 
 impl SlicedLlc {

@@ -293,6 +293,8 @@ pub struct Artifact {
     pub records: Vec<RunRecord>,
     /// Baseline-vs-variant summaries.
     pub deltas: Vec<Delta>,
+    // bard-lint: allow(D1) -- wall clock for the artifact's elapsed-time footer only;
+    // never printed into record/delta sections, which must stay byte-reproducible.
     started: Instant,
 }
 
@@ -313,6 +315,7 @@ impl Artifact {
             sections: Vec::new(),
             records: Vec::new(),
             deltas: Vec::new(),
+            // bard-lint: allow(D1) -- see the field note: elapsed-footer only.
             started: Instant::now(),
         }
     }

@@ -204,6 +204,8 @@ impl Runner {
         });
         let meter = meter.as_ref();
         self.run_jobs(jobs, |job| {
+            // bard-lint: allow(D1) -- job wall-clock for the runner-throughput telemetry
+            // histogram only; simulated results never read it.
             let started = std::time::Instant::now();
             let result = job.run();
             if telemetry::enabled() {
@@ -301,6 +303,8 @@ impl Default for Runner {
 }
 
 fn auto_threads() -> usize {
+    // bard-lint: allow(D1) -- thread-count override; parallel and serial grids are pinned
+    // bitwise-identical by the differential and fork suites, so this cannot move results.
     if let Ok(var) = std::env::var("BARD_JOBS") {
         if let Ok(n) = var.trim().parse::<usize>() {
             if n > 0 {

@@ -135,7 +135,7 @@ impl CoreStats {
 /// model it replaced.
 #[derive(Debug)]
 pub struct Core {
-    config: CoreConfig,
+    config: CoreConfig, // bard-lint: allow(S1) -- configuration fixed at construction
     /// Sequence number of the oldest in-flight instruction.
     head_seq: u64,
     /// Next sequence number to assign; `next_seq - head_seq` is the ROB

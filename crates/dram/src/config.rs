@@ -57,6 +57,9 @@ impl SchedulerKind {
     /// scheduler comparison measure nothing.
     #[must_use]
     pub fn from_env() -> Option<Self> {
+        // bard-lint: allow(D1) -- sanctioned cosmetic-knob override, read once at config
+        // construction (never during simulation) and pinned result-neutral by the
+        // scheduler parity suites.
         match std::env::var("BARD_SCHED") {
             Ok(v) if v.is_empty() => None,
             Ok(v) => Some(

@@ -18,13 +18,13 @@ pub struct ControllerState {
 /// Memory controller for a single DDR5 channel (two sub-channels).
 #[derive(Debug, Clone)]
 pub struct MemoryController {
-    channel_id: usize,
+    channel_id: usize, // bard-lint: allow(S1) -- identity fixed at construction
     mapping: AddressMapping,
     subchannels: Vec<SubChannel>,
-    controller_latency: u64,
-    power_model: PowerModel,
-    banks_per_group: usize,
-    banks_per_subchannel: usize,
+    controller_latency: u64, // bard-lint: allow(S1) -- config parameter fixed at construction
+    power_model: PowerModel, // bard-lint: allow(S1) -- config parameter fixed at construction
+    banks_per_group: usize,  // bard-lint: allow(S1) -- geometry fixed at construction
+    banks_per_subchannel: usize, // bard-lint: allow(S1) -- geometry fixed at construction
 }
 
 impl MemoryController {

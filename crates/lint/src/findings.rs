@@ -1,0 +1,145 @@
+//! Findings: the machine-readable output of a pass, with text and JSON
+//! rendering. JSON is written with an in-tree serializer (the workspace has
+//! no serde) matching the repo's other hand-rolled JSON emitters.
+
+use std::fmt;
+
+/// Finding severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, but does not fail the run.
+    Warning,
+    /// Violation: fails the run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding from one pass.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Machine-readable code (`D1`, `S1`, `T1`, `R1`, `U1`, `A1`, `A2`).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: [{}] {}:{}: {}",
+            self.severity, self.code, self.file, self.line, self.message
+        )
+    }
+}
+
+/// The complete result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in pass order then file/line order.
+    pub findings: Vec<Finding>,
+    /// Number of allow annotations that suppressed at least one finding.
+    pub allows_used: usize,
+    /// Number of allow annotations that suppressed nothing (also reported
+    /// as `A1` findings).
+    pub allows_unused: usize,
+}
+
+impl Report {
+    /// Number of error-severity findings (the exit-status driver).
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Error).count()
+    }
+
+    /// Renders the report as the stable JSON document archived by CI.
+    #[must_use]
+    pub fn to_json(&self, root: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"bard-lint\",\n");
+        out.push_str("  \"schema_version\": 1,\n");
+        out.push_str(&format!("  \"root\": {},\n", json_str(root)));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"code\": {}, ", json_str(f.code)));
+            out.push_str(&format!("\"severity\": {}, ", json_str(&f.severity.to_string())));
+            out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+            out.push_str(&format!("\"line\": {}, ", f.line));
+            out.push_str(&format!("\"message\": {}", json_str(&f.message)));
+            out.push('}');
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"metrics\": {\n");
+        out.push_str(&format!("    \"lint.findings\": {},\n", self.findings.len()));
+        out.push_str(&format!("    \"lint.errors\": {},\n", self.error_count()));
+        out.push_str(&format!("    \"lint.allows\": {},\n", self.allows_used));
+        out.push_str(&format!("    \"lint.unused_allows\": {}\n", self.allows_unused));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut report = Report::default();
+        report.findings.push(Finding {
+            code: "D1",
+            severity: Severity::Error,
+            file: "crates/core/src/a.rs".into(),
+            line: 3,
+            message: "say \"hi\"".into(),
+        });
+        report.allows_used = 2;
+        let json = report.to_json("/root/repo");
+        assert!(json.contains("\"lint.findings\": 1"));
+        assert!(json.contains("\"lint.allows\": 2"));
+        assert!(json.contains("\\\"hi\\\""));
+        assert_eq!(report.error_count(), 1);
+    }
+}

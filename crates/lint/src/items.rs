@@ -1,0 +1,496 @@
+//! A shallow item scanner on top of the token stream: struct definitions
+//! with their named fields, enum definitions with their variants, and
+//! function definitions with signature/body line ranges plus the `impl`
+//! owner type. This is all the structure the passes need — no expression
+//! parsing, no type resolution.
+
+use crate::source::{SourceText, SpannedTok, Tok};
+
+/// A named struct field.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// 1-based definition line.
+    pub line: usize,
+}
+
+/// A `struct` definition with named fields (tuple/unit structs scan as
+/// field-less and are ignored by the snapshot pass).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Named fields in declaration order.
+    pub fields: Vec<FieldDef>,
+    /// True when the definition sits in test context.
+    pub test: bool,
+}
+
+/// An `enum` definition with its variant names.
+#[derive(Debug, Clone)]
+pub struct EnumDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: usize,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+}
+
+/// A `fn` definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Signature text (blanked code from `fn` to the body `{`).
+    pub sig: String,
+    /// 1-based inclusive body line range; `None` for bodiless trait fns.
+    pub body: Option<(usize, usize)>,
+    /// The `impl` target type name when the fn lives in an impl block.
+    pub owner: Option<String>,
+}
+
+/// All items scanned from one file.
+#[derive(Debug, Clone, Default)]
+pub struct Items {
+    /// Struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Enum definitions.
+    pub enums: Vec<EnumDef>,
+    /// Function definitions.
+    pub fns: Vec<FnDef>,
+}
+
+/// Scans `src` into its item model.
+#[must_use]
+pub fn scan(src: &SourceText) -> Items {
+    let toks = &src.tokens;
+    let mut items = Items::default();
+    // Stack of (brace depth at entry, owner type) for impl blocks.
+    let mut impl_stack: Vec<(i32, String)> = Vec::new();
+    let mut depth = 0i32;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                if let Some((d, _)) = impl_stack.last() {
+                    if depth == *d {
+                        impl_stack.pop();
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                if let Some((owner, body_start)) = parse_impl_header(toks, i) {
+                    impl_stack.push((depth, owner));
+                    depth += 1;
+                    i = body_start + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(kw) if kw == "struct" => {
+                if let Some((def, next)) = parse_struct(src, toks, i) {
+                    items.structs.push(def);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(kw) if kw == "enum" => {
+                if let Some((def, next)) = parse_enum(toks, i) {
+                    items.enums.push(def);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                let owner = impl_stack.last().map(|(_, o)| o.clone());
+                if let Some((mut def, next, entered_body)) = parse_fn(src, toks, i) {
+                    def.owner = owner;
+                    items.fns.push(def);
+                    if entered_body {
+                        depth += 1;
+                    }
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// Parses an `impl` header starting at the `impl` keyword. Returns the
+/// target type name and the index of the opening `{`.
+///
+/// The target is the last plain identifier at generic depth 0 before the
+/// body brace, taken after `for` when present — which resolves both
+/// `impl Foo`, `impl<T> Foo<T>` and `impl Trait for Foo`.
+fn parse_impl_header(toks: &[SpannedTok], i: usize) -> Option<(String, usize)> {
+    let mut gdepth = 0i32;
+    let mut target: Option<String> = None;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('<') => gdepth += 1,
+            Tok::Punct('>') => gdepth -= 1,
+            Tok::Punct('{') if gdepth <= 0 => return target.map(|t| (t, j)),
+            Tok::Punct(';') if gdepth <= 0 => return None,
+            Tok::Ident(s) if gdepth <= 0 => {
+                if s == "for" {
+                    target = None;
+                } else if s != "where" && s != "dyn" && s != "mut" && s != "const" {
+                    target = Some(s.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses a struct definition at the `struct` keyword. Returns the def and
+/// the token index just past it.
+fn parse_struct(src: &SourceText, toks: &[SpannedTok], i: usize) -> Option<(StructDef, usize)> {
+    let name = toks.get(i + 1)?.tok.ident()?.to_owned();
+    let line = toks[i].line;
+    let test = src.is_test_line(line);
+    // Skip generics, then expect `{` (named fields), `(`/`;` (tuple/unit:
+    // no named fields, nothing for S1 to check).
+    let mut j = i + 2;
+    let mut gdepth = 0i32;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('<') => gdepth += 1,
+            Tok::Punct('>') => gdepth -= 1,
+            Tok::Punct('{') if gdepth <= 0 => break,
+            Tok::Punct('(') | Tok::Punct(';') if gdepth <= 0 => {
+                return Some((StructDef { name, line, fields: Vec::new(), test }, j + 1));
+            }
+            Tok::Ident(s) if gdepth <= 0 && s == "where" => {}
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    // Walk the braced field list: at brace depth 1, an identifier followed
+    // by `:` that starts a field position is a field name. Field positions
+    // are: right after `{`, or right after a depth-1 `,`. Attributes
+    // (`#[...]`) and visibility (`pub`, `pub(crate)`) are skipped.
+    let mut fields = Vec::new();
+    let mut bdepth = 0i32;
+    let mut at_field_start = false;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') => {
+                bdepth += 1;
+                if bdepth == 1 {
+                    at_field_start = true;
+                }
+                j += 1;
+            }
+            Tok::Punct('}') => {
+                bdepth -= 1;
+                if bdepth == 0 {
+                    return Some((StructDef { name, line, fields, test }, j + 1));
+                }
+                j += 1;
+            }
+            Tok::Punct(',') if bdepth == 1 => {
+                at_field_start = true;
+                j += 1;
+            }
+            Tok::Punct('#') if bdepth == 1 && at_field_start => {
+                // Skip an attribute on the field.
+                let mut adepth = 0i32;
+                j += 1;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('[') => adepth += 1,
+                        Tok::Punct(']') => {
+                            adepth -= 1;
+                            if adepth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            Tok::Ident(s) if bdepth == 1 && at_field_start => {
+                if s == "pub" {
+                    // Visibility, possibly `pub(crate)`.
+                    j += 1;
+                    if toks.get(j).is_some_and(|t| t.tok.is_punct('(')) {
+                        let mut pdepth = 0i32;
+                        while j < toks.len() {
+                            match &toks[j].tok {
+                                Tok::Punct('(') => pdepth += 1,
+                                Tok::Punct(')') => {
+                                    pdepth -= 1;
+                                    if pdepth == 0 {
+                                        j += 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                } else if toks.get(j + 1).is_some_and(|t| t.tok.is_punct(':')) {
+                    fields.push(FieldDef { name: s.clone(), line: toks[j].line });
+                    at_field_start = false;
+                    j += 2;
+                } else {
+                    at_field_start = false;
+                    j += 1;
+                }
+            }
+            _ => {
+                if bdepth >= 1 && !matches!(&toks[j].tok, Tok::Punct(',')) {
+                    // Inside a field's type expression.
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Parses an enum definition at the `enum` keyword.
+fn parse_enum(toks: &[SpannedTok], i: usize) -> Option<(EnumDef, usize)> {
+    let name = toks.get(i + 1)?.tok.ident()?.to_owned();
+    let line = toks[i].line;
+    let mut j = i + 2;
+    let mut gdepth = 0i32;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('<') => gdepth += 1,
+            Tok::Punct('>') => gdepth -= 1,
+            Tok::Punct('{') if gdepth <= 0 => break,
+            Tok::Punct(';') if gdepth <= 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return None;
+    }
+    // Variants: at brace depth 1, an identifier in variant-start position.
+    let mut variants = Vec::new();
+    let mut bdepth = 0i32;
+    let mut at_variant_start = false;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('{') | Tok::Punct('(') => {
+                bdepth += 1;
+                if bdepth == 1 {
+                    at_variant_start = true;
+                }
+                j += 1;
+            }
+            Tok::Punct('}') | Tok::Punct(')') => {
+                bdepth -= 1;
+                if bdepth == 0 {
+                    return Some((EnumDef { name, line, variants }, j + 1));
+                }
+                j += 1;
+            }
+            Tok::Punct(',') if bdepth == 1 => {
+                at_variant_start = true;
+                j += 1;
+            }
+            Tok::Punct('#') if bdepth == 1 && at_variant_start => {
+                let mut adepth = 0i32;
+                j += 1;
+                while j < toks.len() {
+                    match &toks[j].tok {
+                        Tok::Punct('[') => adepth += 1,
+                        Tok::Punct(']') => {
+                            adepth -= 1;
+                            if adepth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            Tok::Ident(s) if bdepth == 1 && at_variant_start => {
+                variants.push(s.clone());
+                at_variant_start = false;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Parses a fn definition at the `fn` keyword. Returns the def, the token
+/// index to continue from, and whether scanning continues *inside* the body
+/// (so the caller keeps its brace-depth bookkeeping consistent — we do not
+/// skip bodies, because nested items and impl-owner tracking rely on the
+/// caller's single pass).
+fn parse_fn(src: &SourceText, toks: &[SpannedTok], i: usize) -> Option<(FnDef, usize, bool)> {
+    let name = toks.get(i + 1)?.tok.ident()?.to_owned();
+    let line = toks[i].line;
+    // Find the body `{` or a `;` at generic/paren depth 0.
+    let mut gdepth = 0i32;
+    let mut pdepth = 0i32;
+    let mut j = i + 2;
+    let body_open = loop {
+        let t = toks.get(j)?;
+        match &t.tok {
+            Tok::Punct('<') => gdepth += 1,
+            Tok::Punct('>') => gdepth -= 1,
+            Tok::Punct('(') | Tok::Punct('[') => pdepth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => pdepth -= 1,
+            // `->` return arrow: the `>` must not count as a generic close.
+            Tok::Punct('-') if toks.get(j + 1).is_some_and(|t| t.tok.is_punct('>')) => {
+                j += 1;
+            }
+            Tok::Punct('{') if gdepth <= 0 && pdepth == 0 => break Some(j),
+            Tok::Punct(';') if gdepth <= 0 && pdepth == 0 => break None,
+            _ => {}
+        }
+        j += 1;
+    };
+    let (sig_end_line, body, next, entered) = match body_open {
+        Some(open) => {
+            // Find the matching close brace to record the body line range;
+            // scanning continues just inside the body.
+            let mut depth = 0i32;
+            let mut k = open;
+            let close = loop {
+                match toks.get(k).map(|t| &t.tok) {
+                    Some(Tok::Punct('{')) => depth += 1,
+                    Some(Tok::Punct('}')) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break k;
+                        }
+                    }
+                    None => break k.saturating_sub(1),
+                    _ => {}
+                }
+                k += 1;
+            };
+            let body_range = (toks[open].line, toks.get(close).map_or(toks[open].line, |t| t.line));
+            (toks[open].line, Some(body_range), open + 1, true)
+        }
+        None => (toks[j].line, None, j + 1, false),
+    };
+    let sig = src.code_range(line, sig_end_line);
+    Some((FnDef { name, line, sig, body, owner: None }, next, entered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_src(src: &str) -> Items {
+        scan(&SourceText::lex(src, false))
+    }
+
+    #[test]
+    fn struct_fields_are_scanned() {
+        let items = scan_src(
+            "pub struct Foo {\n    pub a: u64,\n    #[allow(dead_code)]\n    b: Vec<(u32, u32)>,\n    pub(crate) c: HashMap<u64, Vec<u8>>,\n}\n",
+        );
+        assert_eq!(items.structs.len(), 1);
+        let s = &items.structs[0];
+        assert_eq!(s.name, "Foo");
+        let names: Vec<_> = s.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_have_no_fields() {
+        let items = scan_src("struct A(u64, u64);\nstruct B;\nstruct C { x: u8 }\n");
+        assert_eq!(items.structs.len(), 3);
+        assert!(items.structs[0].fields.is_empty());
+        assert!(items.structs[1].fields.is_empty());
+        assert_eq!(items.structs[2].fields.len(), 1);
+    }
+
+    #[test]
+    fn enum_variants_are_scanned() {
+        let items = scan_src(
+            "pub enum Kind {\n    #[default]\n    Walk,\n    Fused(u64),\n    Other { x: u8 },\n}\n",
+        );
+        assert_eq!(items.enums.len(), 1);
+        assert_eq!(items.enums[0].variants, vec!["Walk", "Fused", "Other"]);
+    }
+
+    #[test]
+    fn impl_owner_is_tracked() {
+        let items = scan_src(
+            "impl Foo {\n    fn a(&self) {}\n}\nimpl Display for Bar {\n    fn fmt(&self) { nested(); }\n}\nfn free() {}\nimpl<T: Clone> Baz<T> {\n    fn c() {}\n}\n",
+        );
+        let owners: Vec<_> =
+            items.fns.iter().map(|f| (f.name.as_str(), f.owner.as_deref())).collect();
+        assert_eq!(
+            owners,
+            vec![("a", Some("Foo")), ("fmt", Some("Bar")), ("free", None), ("c", Some("Baz")),]
+        );
+    }
+
+    #[test]
+    fn fn_body_ranges_cover_the_braces() {
+        let src = "fn f(x: u64) -> u64 {\n    let y = x + 1;\n    y\n}\n";
+        let items = scan_src(src);
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].body, Some((1, 4)));
+        assert!(items.fns[0].sig.contains("x: u64"));
+    }
+
+    #[test]
+    fn nested_fns_and_closures_do_not_break_owner_tracking() {
+        let items = scan_src(
+            "impl Outer {\n    fn a(&self) {\n        fn inner() {}\n        let c = |x: u64| x + 1;\n    }\n    fn b(&self) {}\n}\n",
+        );
+        let owners: Vec<_> =
+            items.fns.iter().map(|f| (f.name.as_str(), f.owner.as_deref())).collect();
+        assert_eq!(
+            owners,
+            vec![("a", Some("Outer")), ("inner", Some("Outer")), ("b", Some("Outer"))]
+        );
+    }
+
+    #[test]
+    fn trait_fn_without_body() {
+        let items = scan_src("trait T {\n    fn required(&self) -> u64;\n}\n");
+        assert_eq!(items.fns.len(), 1);
+        assert!(items.fns[0].body.is_none());
+    }
+
+    #[test]
+    fn return_arrow_generics_do_not_confuse_the_scanner() {
+        let items = scan_src("fn g<T>() -> Vec<T> {\n    Vec::new()\n}\nfn h() {}\n");
+        let names: Vec<_> = items.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["g", "h"]);
+    }
+}

@@ -1,0 +1,109 @@
+//! The `bard-lint` binary: runs every pass over the workspace and reports.
+//!
+//! ```text
+//! cargo run -p bard-lint --release -- --workspace [--json] [--root=DIR]
+//! ```
+//!
+//! Exit status: `0` clean, `1` error-severity findings, `2` usage error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bard_lint::{run_all, Workspace};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--workspace" => {} // the only analysis unit; accepted for clarity
+            "--json" => json = true,
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            a if a.starts_with("--root=") => {
+                root = Some(PathBuf::from(&a["--root=".len()..]));
+            }
+            other => {
+                eprintln!("bard-lint: unknown argument `{other}`");
+                print_help();
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(discover_root) {
+        Some(r) => r,
+        None => {
+            eprintln!(
+                "bard-lint: no workspace root found (no ancestor Cargo.toml with \
+                 `[workspace]`); pass --root=DIR"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("bard-lint: failed to load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_all(&ws);
+    if json {
+        print!("{}", report.to_json(&root.display().to_string()));
+    } else {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        let errors = report.error_count();
+        let warnings = report.findings.len() - errors;
+        println!(
+            "bard-lint: {} files, {errors} error(s), {warnings} warning(s), {} allow(s) in \
+             effect",
+            ws.files.len(),
+            report.allows_used
+        );
+    }
+    if report.error_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` containing
+/// a `[workspace]` table.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "bard-lint: in-tree static analysis (determinism, snapshot coverage, telemetry \
+         purity, reference-twin registry)\n\
+         \n\
+         USAGE: bard-lint [--workspace] [--json] [--root=DIR]\n\
+         \n\
+         --workspace   lint the whole workspace (the default and only unit)\n\
+         --json        emit the machine-readable report (archived by CI)\n\
+         --root=DIR    workspace root (default: nearest ancestor with [workspace])\n\
+         \n\
+         Exit status: 0 clean, 1 findings, 2 usage error.\n\
+         Suppress a finding with `// bard-lint: allow(<code>) -- <justification>`;\n\
+         see docs/LINTS.md for every code."
+    );
+}

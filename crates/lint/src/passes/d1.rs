@@ -1,0 +1,258 @@
+//! **D1 — determinism.** Model code must be bit-reproducible: no default
+//! `RandomState` hashing (iteration order varies per process), no wall
+//! clocks, no environment reads, and no order-sensitive float accumulation.
+//!
+//! Scope: the model crates (`core`, `cpu`, `cache`, `dram`, `workloads`,
+//! `trace`) and the root facade, excluding test context, `macro_rules!`
+//! bodies, binary drivers (`src/bin/`), `examples/`, and the telemetry
+//! subsystem (`src/telemetry.rs`) — CLI drivers legitimately read arguments
+//! and wall clocks, and host-side observability is wall-clock measurement
+//! by definition; the simulation model must be neither.
+
+use crate::findings::{Finding, Severity};
+use crate::passes::{AnnotationMap, Pass};
+use crate::source::{SpannedTok, Tok};
+use crate::workspace::{LintFile, Workspace};
+
+/// Crates whose non-test code D1 scans.
+const MODEL_CRATES: &[&str] = &["core", "cpu", "cache", "dram", "workloads", "trace", "root"];
+
+/// `std::env` accessors that read ambient process state.
+const ENV_READS: &[&str] = &[
+    "var",
+    "var_os",
+    "vars",
+    "vars_os",
+    "args",
+    "args_os",
+    "current_dir",
+    "current_exe",
+    "temp_dir",
+];
+
+/// The determinism pass.
+pub struct Determinism;
+
+impl Pass for Determinism {
+    fn code(&self) -> &'static str {
+        "D1"
+    }
+
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn run(&self, ws: &Workspace, _ann: &AnnotationMap, out: &mut Vec<Finding>) {
+        for file in &ws.files {
+            if !MODEL_CRATES.contains(&file.crate_name.as_str()) || file.file_test {
+                continue;
+            }
+            if file.rel.contains("/bin/") || file.rel.contains("examples/") {
+                continue;
+            }
+            // The telemetry subsystem is host-side observability: wall-clock
+            // measurement and env-driven enablement are its function, and the
+            // telemetry-on/off parity suite pins it result-neutral.
+            if file.rel.ends_with("src/telemetry.rs") {
+                continue;
+            }
+            check_file(file, out);
+        }
+    }
+}
+
+/// True when the token at `line` sits in code D1 skips: test context, a
+/// macro body, or a `use` statement (imports do not execute).
+fn skipped(file: &LintFile, use_lines: &[bool], line: usize) -> bool {
+    file.src.is_test_line(line)
+        || file.src.is_macro_line(line)
+        || use_lines.get(line - 1).copied().unwrap_or(false)
+}
+
+fn check_file(file: &LintFile, out: &mut Vec<Finding>) {
+    let toks = &file.src.tokens;
+    let use_lines = mark_use_lines(toks, file.src.raw.len());
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        if skipped(file, &use_lines, t.line) {
+            continue;
+        }
+        match name.as_str() {
+            "HashMap" | "HashSet" => {
+                if let Some(msg) = default_hasher_use(toks, i, name) {
+                    push(out, file, t.line, msg);
+                }
+            }
+            "Instant" | "SystemTime" => {
+                push(
+                    out,
+                    file,
+                    t.line,
+                    format!(
+                        "`{name}` is a wall clock; model time must come from the simulated \
+                         cycle counter"
+                    ),
+                );
+            }
+            // `env::var(...)` style reads; `env!(...)` is compile-time and
+            // fine.
+            "env"
+                if toks.get(i + 1).is_some_and(|t| t.tok.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.tok.is_punct(':')) =>
+            {
+                if let Some(Tok::Ident(call)) = toks.get(i + 3).map(|t| &t.tok) {
+                    if ENV_READS.contains(&call.as_str()) {
+                        push(
+                            out,
+                            file,
+                            t.line,
+                            format!(
+                                "`env::{call}` reads ambient process state; model behavior \
+                                 must depend only on explicit configuration"
+                            ),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    check_float_accumulation(file, &use_lines, out);
+}
+
+/// Decides whether a `HashMap`/`HashSet` token uses the default
+/// (randomized) hasher. Returns the finding message, or `None` when a
+/// custom hasher is supplied.
+fn default_hasher_use(toks: &[SpannedTok], i: usize, name: &str) -> Option<String> {
+    let needs = if name == "HashMap" { 3 } else { 2 };
+    let mut j = i + 1;
+    // Skip a `::` before a turbofish (`HashMap::<u64, V>::new`).
+    if toks.get(j).is_some_and(|t| t.tok.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|t| t.tok.is_punct(':'))
+        && toks.get(j + 2).is_some_and(|t| t.tok.is_punct('<'))
+    {
+        j += 2;
+    }
+    if toks.get(j).is_some_and(|t| t.tok.is_punct('<')) {
+        // Count type parameters: top-level commas + 1.
+        let mut depth = 0i32;
+        let mut params = 1usize;
+        loop {
+            let t = toks.get(j)?;
+            match &t.tok {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                Tok::Punct(',') if depth == 1 => params += 1,
+                // `->` inside an fn-pointer parameter.
+                Tok::Punct('-') if toks.get(j + 1).is_some_and(|t| t.tok.is_punct('>')) => {
+                    j += 1;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        if params >= needs {
+            return None; // hasher parameter supplied
+        }
+        return Some(format!(
+            "`{name}` with the default `RandomState` hasher; use a deterministic hasher \
+             (`BuildHasherDefault<...>`) or a `BTreeMap`/`BTreeSet`"
+        ));
+    }
+    if toks.get(j).is_some_and(|t| t.tok.is_punct(':'))
+        && toks.get(j + 1).is_some_and(|t| t.tok.is_punct(':'))
+    {
+        if let Some(Tok::Ident(method)) = toks.get(j + 2).map(|t| &t.tok) {
+            if method == "with_hasher" || method == "with_capacity_and_hasher" {
+                return None;
+            }
+        }
+        return Some(format!(
+            "`{name}` constructed without an explicit hasher; the default `RandomState` \
+             randomizes iteration order per process"
+        ));
+    }
+    // A bare mention in a type position (e.g. a type alias target without
+    // parameters is impossible, so this is a generic bound or similar):
+    // conservative, but flag it so the author decides.
+    Some(format!("`{name}` without an explicit hasher parameter"))
+}
+
+/// Flags `+=`/`-=`/`*=`/`/=` on lines with float evidence (an `f32`/`f64`
+/// token or a float literal). Order-sensitive float accumulation breaks
+/// cross-engine parity; the repo models throughput in integers.
+fn check_float_accumulation(file: &LintFile, use_lines: &[bool], out: &mut Vec<Finding>) {
+    for (idx, line) in file.src.code.iter().enumerate() {
+        let line_no = idx + 1;
+        if skipped(file, use_lines, line_no) {
+            continue;
+        }
+        let compound = ["+=", "-=", "*=", "/="].iter().any(|op| line.contains(op));
+        if !compound {
+            continue;
+        }
+        let float_evidence =
+            file.src.tokens.iter().filter(|t| t.line == line_no).any(|t| match &t.tok {
+                Tok::Ident(s) => s == "f32" || s == "f64",
+                Tok::Num(n) => n.contains('.') || n.ends_with("f32") || n.ends_with("f64"),
+                Tok::Punct(_) => false,
+            });
+        if float_evidence {
+            out.push(Finding {
+                code: "D1",
+                severity: Severity::Warning,
+                file: file.rel.clone(),
+                line: line_no,
+                message: "float accumulation in model code; ordering-sensitive rounding breaks \
+                          cross-engine parity — accumulate in integers and convert at the edge"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// Marks the lines of every `use` statement (`use` ... `;`).
+fn mark_use_lines(toks: &[SpannedTok], line_count: usize) -> Vec<bool> {
+    let mut marks = vec![false; line_count];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].tok.is_ident("use") {
+            let start = toks[i].line;
+            let mut end = start;
+            let mut j = i + 1;
+            while j < toks.len() {
+                end = toks[j].line;
+                if toks[j].tok.is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            for l in start..=end {
+                if let Some(slot) = marks.get_mut(l - 1) {
+                    *slot = true;
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    marks
+}
+
+fn push(out: &mut Vec<Finding>, file: &LintFile, line: usize, message: String) {
+    out.push(Finding {
+        code: "D1",
+        severity: Severity::Error,
+        file: file.rel.clone(),
+        line,
+        message,
+    });
+}

@@ -1,0 +1,89 @@
+//! The pass framework: the [`Pass`] trait, the registered pass list, and
+//! the driver that runs every pass, applies allow annotations, and reports
+//! unused allows.
+
+use std::collections::HashMap as StdHashMap;
+
+use crate::allow::Annotations;
+use crate::findings::{Finding, Report, Severity};
+use crate::workspace::Workspace;
+
+pub mod d1;
+pub mod r1;
+pub mod s1;
+pub mod t1;
+pub mod u1;
+
+/// A lint pass: inspects the workspace and emits findings.
+pub trait Pass {
+    /// The machine-readable code findings from this pass carry.
+    fn code(&self) -> &'static str;
+    /// Short human name for `--list` style output.
+    fn name(&self) -> &'static str;
+    /// Runs the pass, pushing findings (unsuppressed — the driver applies
+    /// allow annotations afterwards).
+    fn run(&self, ws: &Workspace, ann: &AnnotationMap, out: &mut Vec<Finding>);
+}
+
+/// Per-file annotations, keyed by workspace-relative path.
+pub type AnnotationMap = StdHashMap<String, Annotations>;
+
+/// The registered pass list, in execution order.
+#[must_use]
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(d1::Determinism),
+        Box::new(s1::SnapshotCoverage),
+        Box::new(t1::TelemetryPurity),
+        Box::new(r1::ReferenceTwinRegistry),
+        Box::new(u1::ForbidUnsafe),
+    ]
+}
+
+/// Runs every registered pass over `ws` and folds in the annotation system:
+/// suppressed findings are dropped and mark their allow used, malformed
+/// annotations become `A2` findings, unused allows become `A1` findings.
+#[must_use]
+pub fn run_all(ws: &Workspace) -> Report {
+    let ann: AnnotationMap =
+        ws.files.iter().map(|f| (f.rel.clone(), Annotations::parse(f))).collect();
+    let mut raw = Vec::new();
+    for pass in all_passes() {
+        pass.run(ws, &ann, &mut raw);
+    }
+    let mut report = Report::default();
+    for finding in raw {
+        let suppressed =
+            ann.get(&finding.file).is_some_and(|a| a.suppresses(finding.code, finding.line));
+        if !suppressed {
+            report.findings.push(finding);
+        }
+    }
+    // Annotation hygiene: malformed annotations and unused allows.
+    let mut rels: Vec<&String> = ann.keys().collect();
+    rels.sort();
+    for rel in rels {
+        let a = &ann[rel];
+        report.findings.extend(a.malformed.iter().cloned());
+        for allow in &a.allows {
+            if allow.used.get() {
+                report.allows_used += 1;
+            } else {
+                report.allows_unused += 1;
+                report.findings.push(Finding {
+                    code: "A1",
+                    severity: Severity::Error,
+                    file: rel.clone(),
+                    line: allow.line,
+                    message: format!(
+                        "unused allow({}) — the finding it suppressed is gone; remove the \
+                         annotation",
+                        allow.codes.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.code).cmp(&(&b.file, b.line, b.code)));
+    report
+}

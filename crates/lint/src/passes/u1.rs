@@ -1,0 +1,55 @@
+//! **U1 — unsafe forbidden.** Every crate root must carry a literal
+//! `#![forbid(unsafe_code)]`. The workspace `[lints]` table already forbids
+//! unsafe, but the in-source attribute survives being built outside the
+//! workspace (vendoring, `cargo publish`, path-dependency checkouts) and
+//! states the guarantee where a reader looks first.
+
+use std::collections::BTreeSet;
+
+use crate::findings::{Finding, Severity};
+use crate::passes::{AnnotationMap, Pass};
+use crate::workspace::Workspace;
+
+/// The forbid-unsafe pass.
+pub struct ForbidUnsafe;
+
+impl Pass for ForbidUnsafe {
+    fn code(&self) -> &'static str {
+        "U1"
+    }
+
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn run(&self, ws: &Workspace, _ann: &AnnotationMap, out: &mut Vec<Finding>) {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        for file in &ws.files {
+            let is_root = file.rel == "src/lib.rs"
+                || (file.rel.starts_with("crates/") && file.rel.ends_with("/src/lib.rs"));
+            if !is_root || !seen.insert(file.crate_name.as_str()) {
+                continue;
+            }
+            let toks = &file.src.tokens;
+            let has_forbid = toks.iter().enumerate().any(|(i, t)| {
+                t.tok.is_ident("forbid")
+                    && toks.get(i + 1).is_some_and(|t| t.tok.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|t| t.tok.is_ident("unsafe_code"))
+            });
+            if !has_forbid {
+                out.push(Finding {
+                    code: "U1",
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: 1,
+                    message: format!(
+                        "crate `{}` root is missing `#![forbid(unsafe_code)]`; the workspace \
+                         lint table forbids unsafe, but the in-source attribute must state it \
+                         too",
+                        file.crate_name
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,634 @@
+//! The lightweight Rust line model: a token scanner that understands
+//! strings, comments, character literals vs lifetimes, `#[cfg(test)]`
+//! blocks and `macro_rules!` bodies.
+//!
+//! `bard-lint` deliberately has no parser dependency (the build is offline,
+//! so no `syn`): every pass works on this model instead. Three views of a
+//! file are produced:
+//!
+//! * `code` — the source with comments and string/char contents blanked to
+//!   spaces, line structure preserved. All token scanning happens here, so
+//!   a `HashMap` inside a string or comment can never trip a lint.
+//! * `comments` — only the comment text per line (allow annotations are
+//!   parsed from here, so an annotation inside a string is not an
+//!   annotation).
+//! * `tokens` — identifiers, number literals and punctuation with their
+//!   1-based line numbers, lexed from `code`.
+//!
+//! On top of the views the model marks **test lines** (anything under a
+//! `#[cfg(test)]`/`#[test]` item, plus whole files in `tests/` or
+//! `benches/` directories) and **macro lines** (`macro_rules!` bodies,
+//! which are token soup a lexical lint cannot resolve).
+
+/// One lexed token from the blanked code text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (lexed loosely: digits plus trailing ident/`.`
+    /// characters, enough to read array lengths and spot float literals).
+    Num(String),
+    /// A single punctuation character.
+    Punct(char),
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when the token is the identifier `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tok::Ident(t) if t == s)
+    }
+
+    /// True when the token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A lexed source file with the per-line views the passes consume.
+#[derive(Debug, Clone)]
+pub struct SourceText {
+    /// Raw source lines.
+    pub raw: Vec<String>,
+    /// Source lines with comments and string/char contents blanked.
+    pub code: Vec<String>,
+    /// Comment text per line (everything that was a comment, concatenated).
+    pub comments: Vec<String>,
+    /// Tokens lexed from `code`.
+    pub tokens: Vec<SpannedTok>,
+    /// 1-based lines inside `#[cfg(test)]` / `#[test]` items.
+    pub test_lines: Vec<bool>,
+    /// 1-based lines inside `macro_rules!` bodies.
+    pub macro_lines: Vec<bool>,
+}
+
+impl SourceText {
+    /// Lexes `content` into the full line model. `file_test` marks every
+    /// line as test context regardless of attributes (files under `tests/`
+    /// or `benches/`).
+    #[must_use]
+    pub fn lex(content: &str, file_test: bool) -> Self {
+        let raw: Vec<String> = content.lines().map(str::to_owned).collect();
+        let (code, comments) = blank(content, raw.len());
+        let tokens = tokenize(&code);
+        let n = raw.len();
+        let mut test_lines = vec![file_test; n];
+        let mut macro_lines = vec![false; n];
+        mark_test_items(&tokens, &mut test_lines);
+        mark_macro_bodies(&tokens, &mut macro_lines);
+        Self { raw, code, comments, tokens, test_lines, macro_lines }
+    }
+
+    /// True when 1-based `line` is test context.
+    #[must_use]
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// True when 1-based `line` sits inside a `macro_rules!` body.
+    #[must_use]
+    pub fn is_macro_line(&self, line: usize) -> bool {
+        self.macro_lines.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+
+    /// The blanked code text of 1-based `line` (empty when out of range).
+    #[must_use]
+    pub fn code_line(&self, line: usize) -> &str {
+        self.code.get(line.wrapping_sub(1)).map_or("", String::as_str)
+    }
+
+    /// Concatenated blanked code text of the 1-based inclusive line range.
+    #[must_use]
+    pub fn code_range(&self, start: usize, end: usize) -> String {
+        let mut out = String::new();
+        for line in start..=end.min(self.code.len()) {
+            out.push_str(self.code_line(line));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Lexer state while blanking comments and literals.
+enum State {
+    /// Ordinary code.
+    Normal,
+    /// `// ...` to end of line.
+    LineComment,
+    /// `/* ... */`, tracking nesting depth.
+    BlockComment(u32),
+    /// `"..."` with escapes.
+    Str,
+    /// `r##"..."##` with the given number of hashes.
+    RawStr(u32),
+    /// `'...'` with escapes.
+    Char,
+}
+
+/// Blanks comments and string/char contents, returning `(code, comments)`
+/// line vectors of exactly `line_count` entries.
+fn blank(content: &str, line_count: usize) -> (Vec<String>, Vec<String>) {
+    let mut code: Vec<String> = Vec::with_capacity(line_count);
+    let mut comments: Vec<String> = Vec::with_capacity(line_count);
+    let mut code_line = String::new();
+    let mut comment_line = String::new();
+    let mut state = State::Normal;
+    let chars: Vec<char> = content.chars().collect();
+    let mut i = 0usize;
+    let push_line = |code: &mut Vec<String>,
+                     comments: &mut Vec<String>,
+                     code_line: &mut String,
+                     comment_line: &mut String| {
+        code.push(std::mem::take(code_line));
+        comments.push(std::mem::take(comment_line));
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A line comment ends at the newline; everything else carries
+            // its state across.
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            push_line(&mut code, &mut comments, &mut code_line, &mut comment_line);
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    comment_line.push_str("//");
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    comment_line.push_str("/*");
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    code_line.push(' ');
+                    i += 1;
+                } else if is_raw_string_start(&chars, i) {
+                    // Consume the `r`/`br` prefix and hashes up to the
+                    // opening quote.
+                    let mut j = i;
+                    if chars[j] == 'b' {
+                        code_line.push(' ');
+                        j += 1;
+                    }
+                    code_line.push(' ');
+                    j += 1; // the `r`
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        code_line.push(' ');
+                        j += 1;
+                    }
+                    code_line.push(' '); // the opening quote
+                    j += 1;
+                    state = State::RawStr(hashes);
+                    i = j;
+                } else if c == 'b' && next == Some('"') {
+                    code_line.push_str("  ");
+                    state = State::Str;
+                    i += 2;
+                } else if c == 'b' && next == Some('\'') {
+                    code_line.push_str("  ");
+                    state = State::Char;
+                    i += 2;
+                } else if c == '\'' {
+                    if is_char_literal(&chars, i) {
+                        state = State::Char;
+                        code_line.push(' ');
+                        i += 1;
+                    } else {
+                        // A lifetime: keep the tick as code (it is ignored
+                        // by the tokenizer's punctuation handling).
+                        code_line.push(c);
+                        i += 1;
+                    }
+                } else {
+                    code_line.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_line.push(c);
+                code_line.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    comment_line.push_str("*/");
+                    code_line.push_str("  ");
+                    i += 2;
+                    state = if depth == 1 { State::Normal } else { State::BlockComment(depth - 1) };
+                } else if c == '/' && next == Some('*') {
+                    comment_line.push_str("/*");
+                    code_line.push_str("  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    comment_line.push(c);
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code_line.push_str("  ");
+                    i += 2;
+                    // A `\` at end of line continues the string on the next
+                    // line; the newline itself is handled above, so clamp.
+                    if i > chars.len() {
+                        i = chars.len();
+                    } else if chars.get(i - 1) == Some(&'\n') {
+                        i -= 1;
+                    }
+                } else if c == '"' {
+                    code_line.push(' ');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        code_line.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    code_line.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    code_line.push(' ');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code_line.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    push_line(&mut code, &mut comments, &mut code_line, &mut comment_line);
+    // `content.lines()` drops a trailing newline's empty line; keep the
+    // vectors aligned with `raw`.
+    code.truncate(line_count.max(1));
+    comments.truncate(line_count.max(1));
+    while code.len() < line_count {
+        code.push(String::new());
+        comments.push(String::new());
+    }
+    (code, comments)
+}
+
+/// True when position `i` starts a raw string literal (`r"`, `r#"`, `br"`,
+/// ...), checking that the `r` is not the tail of a longer identifier.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+    if prev_is_ident {
+        return false;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// True when the quote at `i` closes a raw string with `hashes` hashes.
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal (`'a'`, `'\n'`, `'\u{1F600}'`) from a
+/// lifetime (`'a`, `'static`) at the `'` in position `i`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Lexes the blanked code lines into spanned tokens.
+fn tokenize(code: &[String]) -> Vec<SpannedTok> {
+    let mut out = Vec::new();
+    for (idx, line) in code.iter().enumerate() {
+        let line_no = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                    line: line_no,
+                });
+            } else if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    // `0..10` range syntax: stop a number before `..`.
+                    if chars[i] == '.' && chars.get(i + 1) == Some(&'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Num(chars[start..i].iter().collect()),
+                    line: line_no,
+                });
+            } else if c == '\'' {
+                // Lifetime tick: skip it (and let the following identifier
+                // lex normally; passes never care about lifetime names).
+                i += 1;
+            } else {
+                out.push(SpannedTok { tok: Tok::Punct(c), line: line_no });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Finds `#[cfg(test)]`-style attributes (any `cfg` whose argument mentions
+/// `test`, plus bare `#[test]`/`#[bench]`) and marks the attributed item's
+/// line range as test context.
+fn mark_test_items(tokens: &[SpannedTok], test_lines: &mut [bool]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some((attr_end, is_test)) = parse_attribute(tokens, i) {
+            if is_test {
+                if let Some(item_end) = skip_attributed_item(tokens, attr_end) {
+                    let start_line = tokens[i].line;
+                    let end_line = tokens[item_end.min(tokens.len() - 1)].line;
+                    for l in start_line..=end_line {
+                        if let Some(slot) = test_lines.get_mut(l - 1) {
+                            *slot = true;
+                        }
+                    }
+                    i = item_end + 1;
+                    continue;
+                }
+            }
+            i = attr_end + 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// If `i` starts an attribute (`#[...]` or `#![...]`), returns the index of
+/// its closing `]` and whether it is a test attribute.
+fn parse_attribute(tokens: &[SpannedTok], i: usize) -> Option<(usize, bool)> {
+    if !tokens[i].tok.is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.tok.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.tok.is_punct('[')) {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut is_cfg = false;
+    let mut mentions_test = false;
+    let mut first_ident: Option<&str> = None;
+    for (k, t) in tokens.iter().enumerate().skip(j) {
+        match &t.tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    let bare_test = matches!(first_ident, Some("test" | "bench"));
+                    return Some((k, (is_cfg && mentions_test) || bare_test));
+                }
+            }
+            Tok::Ident(s) => {
+                if first_ident.is_none() {
+                    first_ident = Some(s);
+                    if s == "cfg" {
+                        is_cfg = true;
+                    }
+                }
+                if s == "test" {
+                    mentions_test = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Skips the item that follows an attribute ending at `attr_end`: further
+/// attributes, then either a braced body (matched) or a `;`-terminated
+/// item. Returns the index of the item's last token.
+fn skip_attributed_item(tokens: &[SpannedTok], attr_end: usize) -> Option<usize> {
+    let mut i = attr_end + 1;
+    // Skip any further attributes stacked on the same item.
+    while i < tokens.len() {
+        if let Some((end, _)) = parse_attribute(tokens, i) {
+            i = end + 1;
+        } else {
+            break;
+        }
+    }
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(i) {
+        match &t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return Some(k),
+            Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Marks `macro_rules! name { ... }` bodies.
+fn mark_macro_bodies(tokens: &[SpannedTok], macro_lines: &mut [bool]) {
+    let mut i = 0usize;
+    while i + 2 < tokens.len() {
+        if tokens[i].tok.is_ident("macro_rules") && tokens[i + 1].tok.is_punct('!') {
+            // name, then a delimited body.
+            let mut j = i + 2;
+            if tokens.get(j).and_then(|t| t.tok.ident()).is_some() {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            let start_line = tokens[i].line;
+            for (k, t) in tokens.iter().enumerate().skip(j) {
+                match &t.tok {
+                    Tok::Punct('{') | Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                    Tok::Punct('}') | Tok::Punct(')') | Tok::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            for l in start_line..=tokens[k].line {
+                                if let Some(slot) = macro_lines.get_mut(l - 1) {
+                                    *slot = true;
+                                }
+                            }
+                            i = k;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"HashMap::new()\"; // HashMap here\nlet y = 1;\n";
+        let s = SourceText::lex(src, false);
+        assert!(!s.code[0].contains("HashMap"));
+        assert!(s.comments[0].contains("HashMap here"));
+        assert!(s.code[1].contains("let y"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let x = r#\"Instant::now()\"#;\nInstant::now();\n";
+        let s = SourceText::lex(src, false);
+        assert!(!s.code[0].contains("Instant"));
+        assert!(s.code[1].contains("Instant"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let s = SourceText::lex(src, false);
+        assert!(s.code[0].contains("str"));
+        assert!(!s.code[0].contains("'x'"));
+        let idents: Vec<_> =
+            s.tokens.iter().filter_map(|t| t.tok.ident()).map(str::to_owned).collect();
+        assert!(idents.contains(&"a".to_owned()));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let src = "/* outer /* inner */ still comment */ let z = 3;\n";
+        let s = SourceText::lex(src, false);
+        assert!(s.code[0].contains("let z"));
+        assert!(!s.code[0].contains("inner"));
+    }
+
+    #[test]
+    fn cfg_test_mod_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let s = SourceText::lex(src, false);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+        assert!(s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_attr_does_not_mark_test() {
+        let src = "#[cfg_attr(test, derive(Debug))]\nstruct S { x: u64 }\n";
+        let s = SourceText::lex(src, false);
+        // cfg_attr's first ident is `cfg_attr`, not `cfg`: not test context.
+        assert!(!s.is_test_line(2));
+    }
+
+    #[test]
+    fn test_attribute_marks_following_fn() {
+        let src = "#[test]\nfn check() {\n    body();\n}\nfn live() {}\n";
+        let s = SourceText::lex(src, false);
+        assert!(s.is_test_line(2));
+        assert!(s.is_test_line(3));
+        assert!(!s.is_test_line(5));
+    }
+
+    #[test]
+    fn macro_rules_bodies_are_marked() {
+        let src = "macro_rules! m {\n    () => { HashMap::new() };\n}\nfn live() {}\n";
+        let s = SourceText::lex(src, false);
+        assert!(s.is_macro_line(2));
+        assert!(!s.is_macro_line(4));
+    }
+
+    #[test]
+    fn numbers_lex_with_float_evidence() {
+        let src = "let x = 20.5; let r = 0..10;\n";
+        let s = SourceText::lex(src, false);
+        let nums: Vec<_> = s
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(nums.contains(&"20.5".to_owned()));
+        assert!(nums.contains(&"0".to_owned()));
+        assert!(nums.contains(&"10".to_owned()));
+    }
+}

@@ -1,0 +1,121 @@
+//! Workspace discovery: walks the repository for Rust sources, lexes each
+//! file and scans its items, and records which crate it belongs to and
+//! whether it is test-context by location (`tests/`, `benches/`).
+
+use std::path::{Path, PathBuf};
+
+use crate::items::{self, Items};
+use crate::source::SourceText;
+
+/// One lexed + scanned source file.
+#[derive(Debug)]
+pub struct LintFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Owning crate name (`core`, `cache`, ... or `root` for the facade).
+    pub crate_name: String,
+    /// True when the whole file is test context by location.
+    pub file_test: bool,
+    /// The lexed line model.
+    pub src: SourceText,
+    /// The scanned item model.
+    pub items: Items,
+}
+
+/// The scanned workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All scanned files, sorted by relative path.
+    pub files: Vec<LintFile>,
+}
+
+impl Workspace {
+    /// Loads every workspace-member Rust source under `root`.
+    ///
+    /// Members are `crates/<name>` plus the root facade package (`src/`,
+    /// `tests/`, `examples/`, `benches/`). `crates/lint` itself, `vendor/`
+    /// and `target/` are excluded — the lint does not lint itself or
+    /// vendored third-party code.
+    ///
+    /// # Errors
+    /// Returns an error when the directory walk or a file read fails.
+    pub fn load(root: &Path) -> std::io::Result<Self> {
+        let mut paths: Vec<(PathBuf, String)> = Vec::new();
+        let crates_dir = root.join("crates");
+        if crates_dir.is_dir() {
+            for entry in std::fs::read_dir(&crates_dir)? {
+                let entry = entry?;
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name == "lint" || !entry.path().is_dir() {
+                    continue;
+                }
+                collect_rs(&entry.path(), &mut paths, &name)?;
+            }
+        }
+        for sub in ["src", "tests", "examples", "benches"] {
+            let dir = root.join(sub);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut paths, "root")?;
+            }
+        }
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for (path, crate_name) in paths {
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+            let file_test = rel.split('/').any(|seg| seg == "tests" || seg == "benches");
+            let content = std::fs::read_to_string(&path)?;
+            let src = SourceText::lex(&content, file_test);
+            let items = items::scan(&src);
+            files.push(LintFile { rel, crate_name, file_test, src, items });
+        }
+        Ok(Self { root: root.to_path_buf(), files })
+    }
+
+    /// Builds a workspace from in-memory `(rel_path, content)` pairs — the
+    /// fixture tests use this to lint synthetic trees. Crate names derive
+    /// from `crates/<name>/...` prefixes, everything else is `root`.
+    #[must_use]
+    pub fn from_sources(sources: &[(&str, &str)]) -> Self {
+        let mut files: Vec<LintFile> = sources
+            .iter()
+            .map(|(rel, content)| {
+                let crate_name = rel
+                    .strip_prefix("crates/")
+                    .and_then(|r| r.split('/').next())
+                    .unwrap_or("root")
+                    .to_owned();
+                let file_test = rel.split('/').any(|seg| seg == "tests" || seg == "benches");
+                let src = SourceText::lex(content, file_test);
+                let items = items::scan(&src);
+                LintFile { rel: (*rel).to_owned(), crate_name, file_test, src, items }
+            })
+            .collect();
+        files.sort_by(|a, b| a.rel.cmp(&b.rel));
+        Self { root: PathBuf::from("."), files }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `target` and
+/// fixture directories (fixtures are deliberately-bad code).
+fn collect_rs(
+    dir: &Path,
+    out: &mut Vec<(PathBuf, String)>,
+    crate_name: &str,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out, crate_name)?;
+        } else if name.ends_with(".rs") {
+            out.push((path, crate_name.to_owned()));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,32 @@
+//! R1 fixture: an incomplete `all_paths` registry.
+//!
+//! `SchedulerKind` grew an `Extra` variant the cross below never covers, so
+//! R1 must report the missing variant AND the size mismatch (4 declared vs
+//! a 2 x 3 = 6 cross). `ProbeKind` (normalized in the fixture
+//! `full_digest`) is absent from the tuple entirely, and nothing in this
+//! fixture crate consumes `all_paths` from a test.
+
+pub enum EngineKind {
+    Step,
+    Skip,
+}
+
+pub enum SchedulerKind {
+    Scan,
+    Incremental,
+    Extra,
+}
+
+pub enum ProbeKind {
+    Walk,
+    Fused,
+}
+
+pub fn all_paths() -> [(EngineKind, SchedulerKind); 4] {
+    [
+        (EngineKind::Step, SchedulerKind::Scan),
+        (EngineKind::Step, SchedulerKind::Incremental),
+        (EngineKind::Skip, SchedulerKind::Scan),
+        (EngineKind::Skip, SchedulerKind::Incremental),
+    ]
+}

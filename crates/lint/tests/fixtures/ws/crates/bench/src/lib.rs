@@ -1,0 +1,9 @@
+//! Bench fixture root: the harness crate is exempt from T1 (it *checks*
+//! telemetry), so the read below is a negative.
+#![forbid(unsafe_code)]
+
+pub mod differential;
+
+pub fn assert_counters() -> u64 {
+    bard::telemetry::DRAM_TICKS.value() // negative: bench is the harness
+}

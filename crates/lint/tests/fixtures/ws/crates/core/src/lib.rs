@@ -1,0 +1,57 @@
+//! D1 fixture: determinism positives and tricky negatives.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap; // negative: `use` lines do not execute
+use std::collections::HashSet;
+
+pub fn positives() {
+    let mut names: HashMap<u64, String> = HashMap::new(); // two findings: type + ctor
+    names.insert(1, "x".into());
+    let mut seen: HashSet<u64> = HashSet::default(); // two findings: type + ctor
+    seen.insert(2);
+    let t0 = Instant::now(); // finding: wall clock
+    let _ = SystemTime::now(); // finding: wall clock
+    let _ = std::env::var("BARD_FIXTURE"); // finding: env read
+    let mut acc = 0.0f64;
+    acc += 20.5; // finding (warning): float accumulation
+    let _ = (t0, acc);
+}
+
+pub fn negatives() {
+    // HashMap::new() inside a comment is not a finding.
+    let s = "HashMap::new() and Instant::now() in a string";
+    let r = r#"env::var("X") in a raw string"#;
+    let custom: HashMap<u64, u64, std::hash::BuildHasherDefault<FixtureHasher>> =
+        HashMap::with_hasher(Default::default()); // negative: explicit hasher
+    let sized = HashMap::with_capacity_and_hasher(8, ahash()); // negative: explicit hasher
+    let allowed: HashMap<u64, u64> = HashMap::new(); // bard-lint: allow(D1) -- fixture: justified use
+    let _ = (s, r, custom, sized, allowed);
+}
+
+macro_rules! fixture_macro {
+    () => {
+        // negative: macro bodies are token soup the lint skips
+        HashMap::<u64, u64>::new()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_only_uses_are_fine() {
+        let mut m: HashMap<u64, u64> = HashMap::new(); // negative: cfg(test)
+        m.insert(1, 2);
+        let _ = std::time::Instant::now(); // negative: cfg(test)
+    }
+}
+
+pub fn stale() {
+    let ok = 1; // bard-lint: allow(D1) -- stale: nothing here to suppress (A1 positive)
+    // bard-lint: allow(T1)
+    let no_justification = 2; // the annotation above is malformed (A2 positive)
+    // bard-lint: allow(Q9) -- unknown code (A2 positive)
+    let unknown_code = 3;
+    let _ = (ok, no_justification, unknown_code);
+}

@@ -1,0 +1,12 @@
+//! Location negative: files under `tests/` are test context wholesale, so
+//! wall clocks and default-hashed maps here are fine.
+
+use std::collections::HashMap;
+
+#[test]
+fn wall_clocks_in_tests_are_fine() {
+    let t0 = std::time::Instant::now();
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    m.insert(1, 2);
+    assert!(t0.elapsed().as_secs() < 3600);
+}

@@ -1,0 +1,15 @@
+//! T1/U1 fixture: a leaf crate that names telemetry (positive) and is
+//! missing `#![forbid(unsafe_code)]` (U1 positive — note the absent
+//! attribute).
+
+// The telemetry registry scrapes leaf counters through a probe fn; naming
+// bard::telemetry from a leaf is the violation. A comment mentioning
+// telemetry (like this one) is a negative.
+
+pub fn leak_counters() -> u64 {
+    bard::telemetry::DRAM_TICKS.value() // finding: leaf crate names telemetry
+}
+
+pub fn clean_counters() -> u64 {
+    7 // scraped via a probe fn-pointer, never by naming the registry
+}

@@ -1,0 +1,33 @@
+//! The workspace-clean gate: all passes over the real workspace must report
+//! zero unsuppressed findings and zero unused allows, so the lint and the
+//! codebase can never drift apart silently. (The same property gates CI via
+//! `cargo run -p bard-lint`; this test keeps it inside `cargo test`.)
+
+use std::path::PathBuf;
+
+use bard_lint::{run_all, Workspace};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crate dir has a workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_findings_and_no_unused_allows() {
+    let ws = Workspace::load(&workspace_root()).expect("workspace loads");
+    assert!(ws.files.len() > 50, "workspace scan looks truncated: {} files", ws.files.len());
+    let report = run_all(&ws);
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.findings.is_empty(),
+        "bard-lint found {} finding(s) in the workspace:\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+    assert_eq!(report.allows_unused, 0, "stale allow annotations must be removed");
+    assert!(report.allows_used > 0, "the workspace is expected to carry justified allows");
+}

@@ -1,6 +1,6 @@
 //! The on-disk trace archive behind `--trace-dir`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -22,7 +22,10 @@ use crate::writer::TraceWriter;
 /// single live `System` needed before. Writes through [`TraceStore`]
 /// invalidate the written path; files modified behind the store's back
 /// (outside any supported workflow) are not detected.
-type DecodeCache = Mutex<HashMap<PathBuf, (TraceHeader, Arc<[TraceRecord]>)>>;
+// A `BTreeMap` rather than a `HashMap` so cache iteration order (and any
+// future drain/report over it) is deterministic by path; lookups are
+// per-System-open, far off any hot path.
+type DecodeCache = Mutex<BTreeMap<PathBuf, (TraceHeader, Arc<[TraceRecord]>)>>;
 
 fn decode_cache() -> &'static DecodeCache {
     static CACHE: OnceLock<DecodeCache> = OnceLock::new();

@@ -12,6 +12,8 @@
 //! * [`bard_trace`] — BTF binary trace capture, replay and ingestion.
 //! * [`bard_workloads`] — the synthetic workload registry.
 
+#![forbid(unsafe_code)]
+
 pub use bard;
 pub use bard_cache;
 pub use bard_cpu;
